@@ -1,0 +1,164 @@
+// Command edmbench regenerates the EDM paper's evaluation (§V): every
+// table and figure, plus this reproduction's ablation studies.
+//
+// Usage:
+//
+//	edmbench -exp all                 # everything (minutes at scale 10)
+//	edmbench -exp fig5 -scale 20      # one experiment, smaller workload
+//	edmbench -exp fig1,fig6 -osds 16  # several, single cluster size
+//
+// Experiments: table1, fig1, fig3, fig5, fig6, fig7, fig8, ablation.
+// Figs. 5, 6 and 8 are projections of one shared run matrix and are
+// computed together when requested together.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"edm/internal/experiment"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig3,fig5,fig6,fig7,fig8,ablation,reliability,all")
+		scale    = flag.Int("scale", 20, "workload scale divisor (1 = full Table I size)")
+		seed     = flag.Uint64("seed", 42, "experiment seed")
+		parallel = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
+		osds     = flag.String("osds", "16,20", "comma-separated cluster sizes for the matrix experiments")
+		lambda   = flag.Float64("lambda", 0.1, "wear-imbalance trigger threshold λ")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{
+		Scale:       *scale,
+		Seed:        *seed,
+		Parallelism: *parallel,
+		Lambda:      *lambda,
+	}
+	for _, s := range strings.Split(*osds, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n <= 0 {
+			fatalf("bad -osds value %q", s)
+		}
+		opts.OSDCounts = append(opts.OSDCounts, n)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		e = strings.TrimSpace(strings.ToLower(e))
+		if e == "all" {
+			for _, k := range []string{"table1", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "ablation", "reliability"} {
+				want[k] = true
+			}
+			continue
+		}
+		want[e] = true
+	}
+
+	start := time.Now()
+	run := func(name string, fn func() (string, error)) {
+		if !want[name] {
+			return
+		}
+		delete(want, name)
+		t0 := time.Now()
+		out, err := fn()
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s took %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("table1", func() (string, error) {
+		r, err := experiment.Table1(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	run("fig1", func() (string, error) {
+		r, err := experiment.Fig1(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	run("fig3", func() (string, error) {
+		r, err := experiment.Fig3(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+
+	// The matrix experiments share one set of runs.
+	if want["fig5"] || want["fig6"] || want["fig8"] {
+		t0 := time.Now()
+		cells := experiment.Matrix(opts)
+		for _, c := range cells {
+			if c.Err != nil {
+				fatalf("matrix %s/%d/%s: %v", c.Trace, c.OSDs, c.Policy, c.Err)
+			}
+		}
+		fmt.Printf("[matrix: %d runs in %s]\n\n", len(cells), time.Since(t0).Round(time.Millisecond))
+		if want["fig5"] {
+			delete(want, "fig5")
+			fmt.Println(experiment.Fig5(opts, cells).Format())
+		}
+		if want["fig6"] {
+			delete(want, "fig6")
+			fmt.Println(experiment.Fig6(opts, cells).Format())
+		}
+		if want["fig8"] {
+			delete(want, "fig8")
+			fmt.Println(experiment.Fig8(opts, cells).Format())
+		}
+	}
+
+	run("fig7", func() (string, error) {
+		r, err := experiment.Fig7(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	run("reliability", func() (string, error) {
+		r, err := experiment.Reliability(opts)
+		if err != nil {
+			return "", err
+		}
+		return r.Format(), nil
+	})
+	run("ablation", func() (string, error) {
+		var b strings.Builder
+		for _, r := range experiment.Ablations(opts) {
+			b.WriteString(r.Format())
+			b.WriteByte('\n')
+		}
+		b.WriteString(experiment.AblationFTL(opts).Format())
+		b.WriteByte('\n')
+		ol, err := experiment.AblationOpenLoop(opts)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(ol.Format())
+		b.WriteByte('\n')
+		return b.String(), nil
+	})
+
+	for name := range want {
+		fatalf("unknown experiment %q", name)
+	}
+	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "edmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,150 @@
+// Command edmsim replays one workload on one simulated cluster and
+// prints a full result summary — the single-run workhorse behind the
+// figures.
+//
+// Usage:
+//
+//	edmsim -workload home02 -osds 16 -policy hdf -scale 20
+//	edmsim -trace /tmp/my.trace -policy cmt
+//	edmsim -workload lair62 -policy cdf -migration periodic -lambda 0.2
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"edm"
+	"edm/internal/cluster"
+	"edm/internal/metrics"
+	"edm/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "home02", "built-in workload (home02..lair62b, random); ignored with -trace")
+		traceFile = flag.String("trace", "", "replay a trace file written by tracegen instead of a built-in workload")
+		osds      = flag.Int("osds", 16, "number of OSDs")
+		groups    = flag.Int("groups", 4, "placement groups m")
+		k         = flag.Int("k", 4, "objects per file (RAID-5 width)")
+		policyStr = flag.String("policy", "baseline", "baseline | cmt | hdf | cdf")
+		scale     = flag.Int("scale", 20, "workload scale divisor (1 = full Table I size)")
+		seed      = flag.Uint64("seed", 42, "simulation seed")
+		lambda    = flag.Float64("lambda", 0.1, "trigger threshold λ")
+		migration = flag.String("migration", "", "override controller mode: never | midpoint | periodic")
+		series    = flag.Bool("series", false, "print the response-time series (Fig. 7 view)")
+		perOSD    = flag.Bool("per-osd", false, "print per-OSD erase counts, write pages and utilizations")
+		jsonOut   = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
+	)
+	flag.Parse()
+
+	var policy edm.Policy
+	switch *policyStr {
+	case "baseline":
+		policy = edm.PolicyBaseline
+	case "cmt":
+		policy = edm.PolicyCMT
+	case "hdf":
+		policy = edm.PolicyHDF
+	case "cdf":
+		policy = edm.PolicyCDF
+	default:
+		fatalf("unknown policy %q", *policyStr)
+	}
+
+	spec := edm.Spec{
+		Workload:       *workload,
+		OSDs:           *osds,
+		Groups:         *groups,
+		ObjectsPerFile: *k,
+		Policy:         policy,
+		Scale:          *scale,
+		Seed:           *seed,
+		Lambda:         *lambda,
+	}
+	switch *migration {
+	case "":
+	case "never":
+		spec.Migration, spec.MigrationSet = cluster.MigrateNever, true
+	case "midpoint":
+		spec.Migration, spec.MigrationSet = cluster.MigrateMidpoint, true
+	case "periodic":
+		spec.Migration, spec.MigrationSet = cluster.MigratePeriodic, true
+	default:
+		fatalf("unknown migration mode %q", *migration)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		tr, err := trace.Decode(f)
+		f.Close()
+		if err != nil {
+			fatalf("decoding %s: %v", *traceFile, err)
+		}
+		spec.Trace = tr
+	}
+
+	res, err := edm.Run(spec)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatalf("encoding JSON: %v", err)
+		}
+		return
+	}
+
+	fmt.Printf("trace      %s\n", res.Trace)
+	fmt.Printf("policy     %s\n", res.Policy)
+	fmt.Printf("OSDs       %d\n", res.OSDs)
+	fmt.Printf("completed  %d ops over %s of virtual time\n", res.Completed, res.Makespan)
+	fmt.Printf("throughput %.1f ops/s\n", res.ThroughputOps)
+	fmt.Printf("response   mean %.3f ms, p99 %.3f ms\n", res.MeanResponse*1000, res.P99Response*1000)
+	fmt.Printf("erases     %d aggregate (RSD %.3f)\n", res.AggregateErases, rsd(res.EraseCounts))
+	fmt.Printf("writes     %d host pages\n", res.AggregateWrites)
+	if res.Migrations > 0 {
+		fmt.Printf("migration  %d round(s): %d objects, %.1f MB, window %s – %s\n",
+			res.Migrations, res.MovedObjects, float64(res.MovedBytes)/(1<<20),
+			res.MigrationStart, res.MigrationEnd)
+		fmt.Printf("remap      %d entries (peak %d)\n", res.RemapEntries, res.RemapPeak)
+	}
+	if res.Rejected > 0 {
+		fmt.Printf("REJECTED   %d operations (capacity pressure)\n", res.Rejected)
+	}
+
+	if *perOSD {
+		fmt.Println("\nper-OSD:")
+		fmt.Printf("%4s %10s %12s %6s %6s\n", "osd", "erases", "write-pages", "util", "busy")
+		for i := range res.EraseCounts {
+			fmt.Printf("%4d %10d %12d %5.2f %5.2f\n",
+				i, res.EraseCounts[i], res.WritePages[i], res.Utilizations[i], res.BusyFractions[i])
+		}
+	}
+	if *series {
+		fmt.Println("\nresponse-time series (bucket start, mean ms, ops):")
+		for _, p := range res.ResponseSeries {
+			fmt.Printf("%8.0fs %10.3f %8d\n", p.Time, p.Mean*1000, p.Count)
+		}
+	}
+}
+
+func rsd(xs []uint64) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return metrics.RSD(fs)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "edmsim: "+format+"\n", args...)
+	os.Exit(1)
+}

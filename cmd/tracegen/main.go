@@ -1,0 +1,93 @@
+// Command tracegen materialises the synthetic Harvard-style workloads
+// as trace files (the package trace text format) and prints their
+// Table I characteristics.
+//
+// Usage:
+//
+//	tracegen -workload home02 -scale 10 -out home02.trace
+//	tracegen -list
+//	tracegen -workload random -ops 100000 -files 500 -out r.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edm/internal/trace"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "", "built-in workload name, or 'random'")
+		scale     = flag.Int("scale", 1, "scale divisor (1 = full Table I size)")
+		seed      = flag.Uint64("seed", 42, "generation seed")
+		out       = flag.String("out", "", "output file ('-' or empty = stdout)")
+		list      = flag.Bool("list", false, "list built-in workloads and exit")
+		files     = flag.Int("files", 2000, "random workload: file count")
+		ops       = flag.Int("ops", 400000, "random workload: write count")
+		statsOnly = flag.Bool("stats", false, "print characteristics only, no trace body")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("built-in workloads (Table I):")
+		for _, name := range trace.ProfileNames() {
+			p, _ := trace.LookupProfile(name)
+			fmt.Printf("  %-8s files=%6d writes=%7d avgW=%6dB reads=%8d avgR=%6dB users=%d\n",
+				name, p.FileCount, p.WriteCount, p.AvgWriteSize, p.ReadCount, p.AvgReadSize, p.Users)
+		}
+		fmt.Println("  random   (Fig. 3's uniform 4-16KB write workload; -files/-ops set its size)")
+		return
+	}
+	if *workload == "" {
+		fatalf("missing -workload (try -list)")
+	}
+
+	var p trace.Profile
+	if *workload == "random" {
+		p = trace.RandomProfile(*files, *ops)
+	} else {
+		prof, ok := trace.LookupProfile(*workload)
+		if !ok {
+			fatalf("unknown workload %q (try -list)", *workload)
+		}
+		p = prof
+	}
+	p = p.Scaled(*scale)
+
+	tr, err := trace.Generate(p, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	st := tr.Stats()
+	fmt.Fprintf(os.Stderr,
+		"%s: %d files, %d writes (avg %dB), %d reads (avg %dB), %d records, %.1f MB of file data\n",
+		tr.Name, st.FileCount, st.WriteCount, st.AvgWriteSize, st.ReadCount, st.AvgReadSize,
+		len(tr.Records), float64(st.TotalBytes)/(1<<20))
+	if *statsOnly {
+		return
+	}
+
+	w := os.Stdout
+	if *out != "" && *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatalf("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := tr.Encode(w); err != nil {
+		fatalf("encoding: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,216 @@
+// Package edm is a faithful reimplementation, as a simulation library, of
+// EDM — the endurance-aware data migration scheme for load balancing in
+// SSD storage clusters (Ou, Shu, Lu, Yi, Wang; IPDPS 2014).
+//
+// The library bundles everything the paper's evaluation needs:
+//
+//   - a page-level-FTL NAND SSD simulator with greedy garbage
+//     collection and the paper's latency constants,
+//   - a deterministic discrete-event model of a pNFS-style storage
+//     cluster (clients, MDS, serially-served OSDs, object-level RAID-5,
+//     hash placement with intra-group migration),
+//   - the EDM wear model (Eq. 1–4), object temperatures (Def. 1),
+//     Algorithm 1, and the HDF/CDF migration policies,
+//   - the CMT baseline (a Sorrento-style conventional migration
+//     technique), and
+//   - seeded synthetic generators for the seven Harvard NFS workloads
+//     of Table I.
+//
+// Quick start:
+//
+//	spec := edm.Spec{Workload: "home02", OSDs: 16, Policy: edm.PolicyHDF, Scale: 50, Seed: 1}
+//	res, err := edm.Run(spec)
+//	// res.ThroughputOps, res.AggregateErases, res.MovedObjects, ...
+package edm
+
+import (
+	"fmt"
+
+	"edm/internal/cluster"
+	"edm/internal/migration"
+	"edm/internal/sim"
+	"edm/internal/trace"
+)
+
+// Policy selects the migration scheme for a run.
+type Policy int
+
+// The four systems compared throughout the paper's evaluation (§V).
+const (
+	// PolicyBaseline runs no migration.
+	PolicyBaseline Policy = iota
+	// PolicyCMT is the conventional (Sorrento-based) migration
+	// technique.
+	PolicyCMT
+	// PolicyHDF is EDM's Hot-Data First policy.
+	PolicyHDF
+	// PolicyCDF is EDM's Cold-Data First policy.
+	PolicyCDF
+)
+
+// String implements fmt.Stringer, matching the paper's figure labels.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyCMT:
+		return "CMT"
+	case PolicyHDF:
+		return "EDM-HDF"
+	case PolicyCDF:
+		return "EDM-CDF"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// AllPolicies lists the four systems in the paper's presentation order.
+func AllPolicies() []Policy {
+	return []Policy{PolicyBaseline, PolicyCMT, PolicyHDF, PolicyCDF}
+}
+
+// Spec describes one replay experiment.
+type Spec struct {
+	// Workload names a built-in Harvard profile (home02, home03,
+	// home04, deasna, deasna2, lair62, lair62b) or "random". Ignored
+	// when Trace is set.
+	Workload string
+	// Trace supplies an explicit workload instead of a named profile.
+	Trace *trace.Trace
+
+	// Scale divides the profile's file and operation counts (>= 1);
+	// 1 replays the full Table I workload. Ignored when Trace is set.
+	Scale int
+
+	// OSDs is the cluster size (paper: 16 and 20).
+	OSDs int
+	// Groups is m (paper: 4). Zero takes the default.
+	Groups int
+	// ObjectsPerFile is k (paper: 4). Zero takes the default.
+	ObjectsPerFile int
+
+	// Policy selects the migration scheme.
+	Policy Policy
+	// Migration overrides the controller mode; the zero value picks
+	// MigrateNever for PolicyBaseline and MigrateMidpoint otherwise
+	// (the paper's methodology).
+	Migration cluster.MigrationMode
+	// MigrationSet reports Migration was set explicitly (distinguishes
+	// an intentional MigrateNever from the zero value).
+	MigrationSet bool
+
+	// Lambda is the trigger threshold λ; zero takes the default (0.1).
+	Lambda float64
+
+	// Seed drives workload generation and warm-up churn.
+	Seed uint64
+
+	// Cluster lets callers override low-level knobs; fields set here
+	// win over the equivalents above when non-zero.
+	Cluster cluster.Config
+
+	// MigrationConfig overrides the planners' shared tunables.
+	MigrationConfig *migration.Config
+}
+
+// Result re-exports the cluster run result.
+type Result = cluster.Result
+
+// ClusterConfig re-exports the low-level cluster configuration for
+// callers that tune knobs beyond the Spec fields (latencies, bucket
+// widths, flash geometry).
+type ClusterConfig = cluster.Config
+
+// BuildTrace materialises the spec's workload.
+func BuildTrace(spec Spec) (*trace.Trace, error) {
+	if spec.Trace != nil {
+		return spec.Trace, nil
+	}
+	scale := spec.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	var p trace.Profile
+	if spec.Workload == "random" {
+		p = trace.RandomProfile(2000, 400000).Scaled(scale)
+	} else {
+		prof, ok := trace.LookupProfile(spec.Workload)
+		if !ok {
+			return nil, fmt.Errorf("edm: unknown workload %q (have %v and random)", spec.Workload, trace.ProfileNames())
+		}
+		p = prof.Scaled(scale)
+	}
+	return trace.Generate(p, spec.Seed)
+}
+
+// NewCluster builds the simulated cluster for a spec (exposed for
+// callers that need mid-run access; most callers use Run).
+func NewCluster(spec Spec) (*cluster.Cluster, error) {
+	tr, err := BuildTrace(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := spec.Cluster
+	if cfg.OSDs == 0 {
+		cfg.OSDs = spec.OSDs
+	}
+	if cfg.Groups == 0 {
+		cfg.Groups = spec.Groups
+	}
+	if cfg.ObjectsPerFile == 0 {
+		cfg.ObjectsPerFile = spec.ObjectsPerFile
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = spec.Seed
+	}
+	cfg.Migration = spec.migrationMode()
+
+	cl, err := cluster.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if planner := spec.planner(); planner != nil {
+		cl.SetPlanner(planner)
+	}
+	return cl, nil
+}
+
+func (spec Spec) migrationMode() cluster.MigrationMode {
+	if spec.MigrationSet || spec.Migration != cluster.MigrateNever {
+		return spec.Migration
+	}
+	if spec.Policy == PolicyBaseline {
+		return cluster.MigrateNever
+	}
+	return cluster.MigrateMidpoint
+}
+
+func (spec Spec) planner() migration.Planner {
+	mcfg := migration.DefaultConfig()
+	if spec.MigrationConfig != nil {
+		mcfg = *spec.MigrationConfig
+	}
+	if spec.Lambda != 0 {
+		mcfg.Lambda = spec.Lambda
+	}
+	switch spec.Policy {
+	case PolicyCMT:
+		return migration.NewCMT(mcfg)
+	case PolicyHDF:
+		return migration.NewHDF(mcfg)
+	case PolicyCDF:
+		return migration.NewCDF(mcfg)
+	}
+	return nil
+}
+
+// Run executes the spec end to end and returns the result.
+func Run(spec Spec) (*Result, error) {
+	cl, err := NewCluster(spec)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Run()
+}
+
+// Minute re-exports the virtual-time constant most examples need.
+const Minute = sim.Minute

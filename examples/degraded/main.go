@@ -1,0 +1,81 @@
+// Degraded mode: what EDM's RAID-5 substrate buys when a device dies.
+//
+// A file's k objects are striped across k different placement groups
+// with rotating parity, so the cluster survives any single SSD failure
+// (reads reconstruct the lost column from the k−1 survivors) — and even
+// a SECOND failure, as long as it lands in the same group as the first,
+// because no stripe ever has two objects in one group (§III.D). A second
+// failure in a different group loses data.
+//
+// Run with:
+//
+//	go run ./examples/degraded
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edm"
+	"edm/internal/cluster"
+	"edm/internal/sim"
+)
+
+func run(fail []int, rebuild bool) *edm.Result {
+	spec := edm.Spec{
+		Workload: "home02",
+		OSDs:     16,
+		Policy:   edm.PolicyBaseline,
+		Scale:    50,
+		Seed:     9,
+		Cluster:  cluster.Config{WarmupDisabled: true},
+	}
+	cl, err := edm.NewCluster(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, osd := range fail {
+		cl.FailOSD(osd, sim.Time(i+1)*sim.Millisecond)
+	}
+	if rebuild && len(fail) > 0 {
+		cl.Rebuild(fail[0], 10*sim.Millisecond)
+	}
+	res, err := cl.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("RAID-5 degraded service on a 16-OSD cluster (m = 4 groups)")
+	fmt.Println()
+
+	cases := []struct {
+		label   string
+		fail    []int
+		rebuild bool
+	}{
+		{"healthy", nil, false},
+		{"one failure (OSD 3)", []int{3}, false},
+		{"one failure + declustered rebuild", []int{3}, true},
+		{"two failures, same group (OSD 3 + OSD 7)", []int{3, 7}, false},
+		{"two failures, different groups (OSD 3 + OSD 4)", []int{3, 4}, false},
+	}
+	for _, c := range cases {
+		res := run(c.fail, c.rebuild)
+		extra := ""
+		if res.RebuiltObjects > 0 {
+			extra = fmt.Sprintf("  rebuilt %d objs in %.2fs",
+				res.RebuiltObjects, (res.RebuildEnd - res.RebuildStart).Seconds())
+		}
+		fmt.Printf("%-46s thr %7.0f ops/s  mean RT %6.2f ms  degraded %6d  LOST %d%s\n",
+			c.label, res.ThroughputOps, res.MeanResponse*1000, res.DegradedOps, res.LostOps, extra)
+	}
+
+	fmt.Println()
+	fmt.Println("Reconstruction reads slow the cluster but lose nothing — until two")
+	fmt.Println("devices in *different* groups die together. That is exactly the event")
+	fmt.Println("§III.D's wear staggering makes improbable: balanced wear inside a")
+	fmt.Println("group is harmless, and groups are kept apart in wear speed.")
+}

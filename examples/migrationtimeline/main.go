@@ -1,0 +1,88 @@
+// Migration timeline: the Fig.-7 experiment on a small cluster. The
+// response time of foreground file operations is bucketed over virtual
+// time; a migration is forced at the trace midpoint, and the two EDM
+// policies show their characteristic signatures:
+//
+//   - HDF blocks requests to the objects being moved, so the mean
+//     response time spikes when migration starts and drops below the
+//     baseline afterwards (the wear imbalance is gone);
+//   - CDF moves only rarely-accessed objects, so its impact is limited
+//     to disk-bandwidth competition — a much smaller bump.
+//
+// Run with:
+//
+//	go run ./examples/migrationtimeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"edm"
+)
+
+func main() {
+	const workload = "home02"
+	fmt.Printf("response-time timeline on %s, 16 OSDs, migration at the midpoint\n\n", workload)
+
+	type series struct {
+		policy edm.Policy
+		res    *edm.Result
+	}
+	var all []series
+	for _, policy := range []edm.Policy{edm.PolicyBaseline, edm.PolicyHDF, edm.PolicyCDF} {
+		res, err := edm.Run(edm.Spec{
+			Workload: workload,
+			OSDs:     16,
+			Policy:   policy,
+			Scale:    20,
+			Seed:     42,
+			Cluster:  clusterConfigWithFineBuckets(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, series{policy, res})
+	}
+
+	// Align buckets across the three runs.
+	maxLen := 0
+	for _, s := range all {
+		if len(s.res.ResponseSeries) > maxLen {
+			maxLen = len(s.res.ResponseSeries)
+		}
+	}
+	fmt.Printf("%8s  %-32s\n", "t(s)", "mean response (ms)")
+	fmt.Printf("%8s  %10s %10s %10s\n", "", "baseline", "EDM-HDF", "EDM-CDF")
+	for i := 0; i < maxLen; i++ {
+		stamp := "-"
+		cols := make([]string, len(all))
+		for j, s := range all {
+			if i < len(s.res.ResponseSeries) {
+				p := s.res.ResponseSeries[i]
+				stamp = fmt.Sprintf("%.1f", p.Time)
+				cols[j] = fmt.Sprintf("%.3f", p.Mean*1000)
+			} else {
+				cols[j] = "-"
+			}
+		}
+		fmt.Printf("%8s  %10s %10s %10s\n", stamp, cols[0], cols[1], cols[2])
+	}
+	fmt.Println()
+	for _, s := range all[1:] {
+		fmt.Printf("%s migration window: %.2fs – %.2fs (%d objects, mean RT during migration %.3f ms)\n",
+			s.res.Policy, s.res.MigrationStart.Seconds(), s.res.MigrationEnd.Seconds(),
+			s.res.MovedObjects, s.res.MeanRespMigrate*1000)
+	}
+	fmt.Println(strings.Repeat("-", 64))
+	fmt.Println("HDF's spike comes from blocked requests on in-flight objects;")
+	fmt.Println("CDF's cold objects are rarely requested, so only bandwidth is shared.")
+}
+
+// clusterConfigWithFineBuckets narrows the Fig.-7 bucket so the spike is
+// visible on a scaled-down (shorter) replay.
+func clusterConfigWithFineBuckets() (cfg edm.ClusterConfig) {
+	cfg.ResponseBucket = edm.Minute / 30 // 2-second buckets
+	return cfg
+}

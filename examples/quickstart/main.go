@@ -1,0 +1,61 @@
+// Quickstart: simulate a small SSD storage cluster, replay a synthetic
+// Harvard-style workload twice — once with no migration, once with
+// EDM's Hot-Data First policy — and compare throughput and wear.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edm"
+)
+
+func main() {
+	// A 16-OSD cluster (m=4 placement groups, 4-object RAID-5 files)
+	// replaying home02 at 1/20 of its Table I size: a second or two of
+	// wall time.
+	base := edm.Spec{
+		Workload: "home02",
+		OSDs:     16,
+		Scale:    20,
+		Seed:     42,
+	}
+
+	fmt.Println("quickstart: home02 on 16 OSDs, baseline vs EDM-HDF")
+	fmt.Println()
+
+	var results []*edm.Result
+	for _, policy := range []edm.Policy{edm.PolicyBaseline, edm.PolicyHDF} {
+		spec := base
+		spec.Policy = policy
+		res, err := edm.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+
+		fmt.Printf("%s:\n", res.Policy)
+		fmt.Printf("  throughput       %.0f ops/s\n", res.ThroughputOps)
+		fmt.Printf("  mean response    %.2f ms\n", res.MeanResponse*1000)
+		fmt.Printf("  aggregate erases %d\n", res.AggregateErases)
+		fmt.Printf("  erase counts     %v\n", res.EraseCounts)
+		if res.MovedObjects > 0 {
+			fmt.Printf("  moved objects    %d (%.1f MB)\n",
+				res.MovedObjects, float64(res.MovedBytes)/(1<<20))
+		}
+		fmt.Println()
+	}
+
+	baseRes, hdfRes := results[0], results[1]
+	fmt.Printf("EDM-HDF vs baseline: throughput %+.1f%%, erases %+.1f%%\n",
+		100*(hdfRes.ThroughputOps/baseRes.ThroughputOps-1),
+		100*(float64(hdfRes.AggregateErases)/float64(baseRes.AggregateErases)-1))
+	fmt.Println()
+	fmt.Println("The per-OSD erase counts show the point: hash placement spreads")
+	fmt.Println("data evenly, but skewed access makes some SSDs wear much faster;")
+	fmt.Println("HDF moves a handful of write-hot objects and flattens the curve.")
+}

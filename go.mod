@@ -1,0 +1,3 @@
+module edm
+
+go 1.22

@@ -1,0 +1,317 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edm/internal/flash"
+	"edm/internal/metrics"
+	"edm/internal/migration"
+	"edm/internal/object"
+	"edm/internal/placement"
+	"edm/internal/raid"
+	"edm/internal/remap"
+	"edm/internal/rng"
+	"edm/internal/sim"
+	"edm/internal/temperature"
+	"edm/internal/trace"
+)
+
+// OSD is one object storage device: an SSD, its object store, the
+// access tracker, and a serial service queue modelled by a busy-until
+// horizon (requests are admitted in event order, which in a closed-loop
+// replay equals virtual-time order).
+type OSD struct {
+	ID      int
+	Group   int
+	SSD     *flash.SSD
+	Store   *object.Store
+	Tracker *temperature.Tracker
+
+	busyUntil sim.Time
+	load      *metrics.EWMA
+
+	// Per-device counters for the current run.
+	subOps    uint64
+	busyTime  sim.Time
+	busyAtMig sim.Time // busyTime when the migration round started
+}
+
+// BusyTime returns the cumulative device service time (queueing
+// excluded), a direct load measure.
+func (o *OSD) BusyTime() sim.Time { return o.busyTime }
+
+// LoadFactor returns the EWMA of served request latencies in seconds —
+// CMT's load metric.
+func (o *OSD) LoadFactor() float64 { return o.load.Value() }
+
+// Cluster is the simulated storage system.
+type Cluster struct {
+	cfg    Config
+	eng    *sim.Engine
+	layout placement.Layout
+	geom   raid.Geometry
+	osds   []*OSD
+	remap  *remap.Table
+	stream *rng.Stream
+
+	tr       *trace.Trace
+	fileSize map[trace.FileID]int64
+
+	planner    migration.Planner
+	migrating  bool
+	wearTicker *sim.Ticker
+
+	// HDF blocking (§V.D): requests whose target object is locked by an
+	// in-flight move park on a wait list until the move commits.
+	locked  map[object.ID]bool
+	waiters map[object.ID][]pendingOp
+
+	// Failure injection (RAID-5 degraded mode) and declustered rebuild.
+	failed        map[int]bool
+	failedAt      sim.Time
+	degradedOps   uint64
+	lostOps       uint64
+	rebuilt       int
+	rebuiltBytes  int64
+	unrebuildable int
+	rebuildStart  sim.Time
+	rebuildEnd    sim.Time
+
+	// Run bookkeeping.
+	totalOps     int
+	completedOps int
+	migrateAfter int // completed-op count that triggers the midpoint shuffle
+	respSeries   *metrics.TimeSeries
+	respAll      *metrics.Histogram
+	respMigr     *metrics.Histogram // ops served while migration in flight
+	rejected     uint64
+
+	moves         []migration.Move
+	blockedSubOps uint64
+	movedPages    int64
+	movedBytes    int64
+	migrations    int
+
+	migStart, migEnd sim.Time
+}
+
+// New builds a cluster sized for the given trace: every SSD gets the
+// same capacity, chosen so the most loaded OSD sits at about the target
+// utilization (§IV). The trace's files are created and populated, and
+// the warm-up churn is applied, before New returns; the engine clock is
+// still zero and all wear counters are reset.
+func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout := placement.Layout{N: cfg.OSDs, M: cfg.Groups, K: cfg.ObjectsPerFile, Sizes: cfg.GroupSizes}
+	if cfg.GroupRotate {
+		layout.Mode = placement.ModeGroupRotate
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	geom := raid.Geometry{K: cfg.ObjectsPerFile, StripeUnit: cfg.StripeUnit}
+	if err := geom.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{
+		cfg:        cfg,
+		eng:        sim.New(),
+		layout:     layout,
+		geom:       geom,
+		remap:      remap.New(),
+		stream:     rng.New(cfg.Seed ^ 0xedc0ffee),
+		tr:         tr,
+		fileSize:   make(map[trace.FileID]int64, len(tr.Files)),
+		locked:     make(map[object.ID]bool),
+		waiters:    make(map[object.ID][]pendingOp),
+		failed:     make(map[int]bool),
+		respSeries: metrics.NewTimeSeries(cfg.ResponseBucket.Seconds()),
+		respAll:    &metrics.Histogram{},
+		respMigr:   &metrics.Histogram{},
+	}
+	for _, f := range tr.Files {
+		c.fileSize[f.ID] = f.Size
+	}
+
+	if err := c.buildDevices(); err != nil {
+		return nil, err
+	}
+	if err := c.createFiles(); err != nil {
+		return nil, err
+	}
+	if !cfg.WarmupDisabled {
+		c.warmup()
+	}
+	for _, o := range c.osds {
+		o.SSD.ResetStats()
+	}
+	return c, nil
+}
+
+// Engine exposes the simulation engine (examples and tests).
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Layout returns the placement geometry.
+func (c *Cluster) Layout() placement.Layout { return c.layout }
+
+// OSD returns device i.
+func (c *Cluster) OSD(i int) *OSD { return c.osds[i] }
+
+// OSDs returns the device count.
+func (c *Cluster) OSDs() int { return len(c.osds) }
+
+// Remap returns the remapping table.
+func (c *Cluster) Remap() *remap.Table { return c.remap }
+
+// SetPlanner installs the migration policy (nil for the baseline).
+func (c *Cluster) SetPlanner(p migration.Planner) { c.planner = p }
+
+// objectID derives the cluster-unique object id of a file's idx-th
+// object.
+func (c *Cluster) objectID(f trace.FileID, idx int) object.ID {
+	return object.ID(int64(f)*int64(c.cfg.ObjectsPerFile) + int64(idx))
+}
+
+// objectHome returns the hash-placement home OSD of an object id.
+func (c *Cluster) objectHome(id object.ID) int {
+	k := int64(c.cfg.ObjectsPerFile)
+	return c.layout.HomeOf(int64(id)/k, int(int64(id)%k))
+}
+
+// locate returns the OSD currently holding the object (remap-aware).
+func (c *Cluster) locate(id object.ID) int {
+	return c.remap.Lookup(id, c.objectHome(id))
+}
+
+// buildDevices sizes and constructs the SSDs. All SSDs are identical;
+// capacity is derived from the heaviest OSD's placed data so that its
+// utilization is about the target.
+func (c *Cluster) buildDevices() error {
+	pageSize := c.cfg.Flash.PageSize
+	if pageSize == 0 {
+		pageSize = flash.DefaultPageSize
+	}
+	ppb := c.cfg.Flash.PagesPerBlock
+	if ppb == 0 {
+		ppb = flash.DefaultPagesPerBlock
+	}
+
+	// Dry placement pass: pages each OSD will hold.
+	perOSD := make([]int64, c.cfg.OSDs)
+	for _, f := range c.tr.Files {
+		for idx := 0; idx < c.cfg.ObjectsPerFile; idx++ {
+			objBytes := c.geom.ObjectDataBytes(f.Size, idx)
+			pages := (objBytes + pageSize - 1) / pageSize
+			if pages == 0 {
+				pages = 1
+			}
+			perOSD[c.layout.HomeOf(int64(f.ID), idx)] += pages
+		}
+	}
+	var maxPages int64 = 1
+	for _, p := range perOSD {
+		if p > maxPages {
+			maxPages = p
+		}
+	}
+
+	// Physical sizing: live/total == target at the heaviest device,
+	// plus the GC reserve excluded from the logical space.
+	low, high := c.cfg.Flash.GCLowBlocks, c.cfg.Flash.GCHighBlocks
+	if low == 0 {
+		low = 2
+	}
+	if high == 0 {
+		high = low + 2
+	}
+	reserveBlocks := int64(high + 1)
+	totalPages := int64(float64(maxPages)/c.cfg.TargetMaxUtilization) + 1
+	blocks := (totalPages+int64(ppb)-1)/int64(ppb) + reserveBlocks
+	if int64(c.cfg.Flash.Blocks) > blocks {
+		blocks = int64(c.cfg.Flash.Blocks)
+	}
+
+	fcfg := c.cfg.Flash
+	fcfg.PageSize = pageSize
+	fcfg.PagesPerBlock = ppb
+	fcfg.Blocks = int(blocks)
+	fcfg.GCLowBlocks = low
+	fcfg.GCHighBlocks = high
+
+	c.osds = make([]*OSD, c.cfg.OSDs)
+	for i := range c.osds {
+		ssd, err := flash.New(fcfg)
+		if err != nil {
+			return fmt.Errorf("cluster: building SSD %d: %w", i, err)
+		}
+		c.osds[i] = &OSD{
+			ID:      i,
+			Group:   c.layout.GroupOf(i),
+			SSD:     ssd,
+			Store:   object.NewStore(ssd),
+			Tracker: temperature.New(c.cfg.TemperatureInterval),
+			load:    c.cfg.newLoadEWMA(),
+		}
+	}
+	return nil
+}
+
+// createFiles pre-creates and populates every traced file (§V.A).
+func (c *Cluster) createFiles() error {
+	for _, f := range c.tr.Files {
+		for idx := 0; idx < c.cfg.ObjectsPerFile; idx++ {
+			id := c.objectID(f.ID, idx)
+			osd := c.osds[c.objectHome(id)]
+			objBytes := c.geom.ObjectDataBytes(f.Size, idx)
+			if err := osd.Store.Create(id, objBytes); err != nil {
+				return fmt.Errorf("cluster: creating object %d on OSD %d: %w", id, osd.ID, err)
+			}
+			if _, err := osd.Store.Populate(id); err != nil {
+				return fmt.Errorf("cluster: populating object %d on OSD %d: %w", id, osd.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// warmup writes dummy data equal to each SSD's capacity (uniformly over
+// the live objects) so the replay starts in wear steady-state (§IV).
+func (c *Cluster) warmup() {
+	for _, o := range c.osds {
+		ids := o.Store.IDs()
+		if len(ids) == 0 {
+			continue
+		}
+		stream := c.stream.Split(uint64(o.ID) + 101)
+		target := o.SSD.TotalPages()
+		// Populate already wrote the live set once.
+		written := int64(o.SSD.Stats().HostPageWrites)
+		for written < target {
+			id := ids[stream.Intn(len(ids))]
+			pages := o.Store.Pages(id)
+			if pages <= 0 {
+				continue
+			}
+			pg := stream.Int63n(pages)
+			n := int64(8)
+			if pg+n > pages {
+				n = pages - pg
+			}
+			if _, err := o.Store.Write(id, pg*o.Store.PageSize(), n*o.Store.PageSize()); err != nil {
+				break // device saturated; steady state reached anyway
+			}
+			written += n
+		}
+	}
+}
+
+// BlockedSubOps counts sub-operations that waited on an HDF object lock
+// (diagnostics).
+func (c *Cluster) BlockedSubOps() uint64 { return c.blockedSubOps }

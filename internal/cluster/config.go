@@ -1,0 +1,171 @@
+// Package cluster simulates the paper's storage testbed (§IV): a pNFS
+// cluster of one metadata server and N object storage devices, each
+// backed by a simulated SSD, replayed against by closed-loop clients.
+//
+// The simulation is a deterministic discrete-event model. Each OSD
+// serves its request queue serially (the paper's osc-osd "handles them
+// serially"); a file operation fans out to the objects of its RAID-5
+// stripe and completes when the slowest sub-operation completes.
+// Migration I/O flows through the same queues, so migration competes
+// with foreground traffic for device bandwidth exactly as in the paper's
+// Fig. 7 experiment.
+package cluster
+
+import (
+	"fmt"
+
+	"edm/internal/flash"
+	"edm/internal/metrics"
+	"edm/internal/sim"
+)
+
+// MigrationMode selects when the migration controller runs.
+type MigrationMode int
+
+const (
+	// MigrateNever runs no migration (the baseline system).
+	MigrateNever MigrationMode = iota
+	// MigrateMidpoint forces one migration when half of the trace's
+	// operations have completed (§V.A: "we enforce the OSDs to shuffle
+	// objects in the middle time point of trace replay").
+	MigrateMidpoint
+	// MigratePeriodic evaluates the planner's own trigger condition on
+	// the wear monitor's cadence (§III.B.2: every minute).
+	MigratePeriodic
+)
+
+// String implements fmt.Stringer.
+func (m MigrationMode) String() string {
+	switch m {
+	case MigrateNever:
+		return "never"
+	case MigrateMidpoint:
+		return "midpoint"
+	case MigratePeriodic:
+		return "periodic"
+	}
+	return fmt.Sprintf("MigrationMode(%d)", int(m))
+}
+
+// Config describes a simulated cluster.
+type Config struct {
+	// OSDs is the number of object storage devices (each with one SSD).
+	OSDs int
+	// Groups is m, the number of placement groups (§III.A; paper: 4).
+	Groups int
+	// ObjectsPerFile is k, the RAID-5 stripe width (paper: 4).
+	ObjectsPerFile int
+	// GroupRotate switches to group-rotating placement, which supports
+	// the §III.D wear-staggering configuration below.
+	GroupRotate bool
+	// GroupSizes optionally assigns explicit (typically unequal) device
+	// counts per group — §III.D's "differentiating the number of SSDs
+	// assigned to each group". Requires GroupRotate.
+	GroupSizes []int
+	// StripeUnit is the bytes of consecutive file data per object
+	// before rotating to the next (default 64KB).
+	StripeUnit int64
+	// Clients is the number of load generators; 0 means OSDs/2 (§V.A).
+	Clients int
+
+	// TargetMaxUtilization sizes every SSD identically so the
+	// most-utilized device lands at about this utilization (§IV: "about
+	// 70 percent"). Default 0.7.
+	TargetMaxUtilization float64
+	// Flash is the per-SSD template; Blocks is computed from the trace
+	// footprint and TargetMaxUtilization (a non-zero Blocks is a floor).
+	Flash flash.Config
+
+	// WarmupDisabled skips the steady-state warm-up (§IV: dummy data
+	// equal to each SSD's capacity is written before the replay, then
+	// the counters are cleared). The zero value warms up, matching the
+	// paper; tests may disable it for speed.
+	WarmupDisabled bool
+
+	// MDSLatency is the fixed service time of metadata operations
+	// (open/close). Default 150µs.
+	MDSLatency sim.Time
+	// NetOverhead is the per-suboperation request overhead (network +
+	// CPU). Default 100µs.
+	NetOverhead sim.Time
+
+	// TemperatureInterval is the Def.-1 decay interval (default 1
+	// minute, the wear monitor's cadence).
+	TemperatureInterval sim.Time
+	// LoadEWMAAlpha smooths the per-OSD latency load factor CMT uses.
+	// Default 0.3.
+	LoadEWMAAlpha float64
+
+	// ResponseBucket is the Fig.-7 time-series bucket width (default 3
+	// minutes).
+	ResponseBucket sim.Time
+
+	// Migration selects the controller mode.
+	Migration MigrationMode
+
+	// OpenLoopRate switches the replayer from closed loop (each user
+	// stream issues its next record when the previous completes — the
+	// default) to open loop: records arrive on a fixed schedule at this
+	// aggregate rate in operations per second of virtual time,
+	// regardless of completions. Open loop exposes overload: a
+	// saturated hot OSD accumulates queue without the closed loop's
+	// self-limiting, which is the regime where migration's balancing
+	// pays off most visibly. 0 keeps the closed loop.
+	OpenLoopRate float64
+
+	// Seed drives all randomized decisions (none today — the cluster
+	// is fully deterministic — but reserved for think-time extensions).
+	Seed uint64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Groups == 0 {
+		c.Groups = 4
+	}
+	if c.ObjectsPerFile == 0 {
+		c.ObjectsPerFile = 4
+	}
+	if c.StripeUnit == 0 {
+		c.StripeUnit = 64 << 10
+	}
+	if c.Clients == 0 {
+		c.Clients = c.OSDs / 2
+		if c.Clients == 0 {
+			c.Clients = 1
+		}
+	}
+	if c.TargetMaxUtilization == 0 {
+		c.TargetMaxUtilization = 0.7
+	}
+	if c.MDSLatency == 0 {
+		c.MDSLatency = 150 * sim.Microsecond
+	}
+	if c.NetOverhead == 0 {
+		c.NetOverhead = 100 * sim.Microsecond
+	}
+	if c.TemperatureInterval == 0 {
+		c.TemperatureInterval = sim.Minute
+	}
+	if c.LoadEWMAAlpha == 0 {
+		c.LoadEWMAAlpha = 0.3
+	}
+	if c.ResponseBucket == 0 {
+		c.ResponseBucket = 3 * sim.Minute
+	}
+}
+
+// Validate reports configuration errors after defaulting.
+func (c Config) Validate() error {
+	switch {
+	case c.OSDs <= 0:
+		return fmt.Errorf("cluster: need at least 1 OSD, got %d", c.OSDs)
+	case c.TargetMaxUtilization <= 0 || c.TargetMaxUtilization >= 0.95:
+		return fmt.Errorf("cluster: target max utilization %v out of (0,0.95)", c.TargetMaxUtilization)
+	case c.LoadEWMAAlpha <= 0 || c.LoadEWMAAlpha > 1:
+		return fmt.Errorf("cluster: load EWMA alpha %v out of (0,1]", c.LoadEWMAAlpha)
+	}
+	return nil
+}
+
+// newLoadEWMA builds the per-OSD load factor estimator.
+func (c Config) newLoadEWMA() *metrics.EWMA { return metrics.NewEWMA(c.LoadEWMAAlpha) }

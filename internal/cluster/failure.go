@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edm/internal/raid"
+	"edm/internal/sim"
+	"edm/internal/trace"
+)
+
+// FailOSD marks a device as failed at virtual time at (schedule before
+// Run). A failed OSD serves nothing; operations that need its objects
+// switch to RAID-5 degraded mode:
+//
+//   - reads reconstruct the lost column from the file's k−1 surviving
+//     objects (one same-sized read on every survivor);
+//   - writes update the surviving columns (the lost column's contents
+//     are implicitly carried by parity).
+//
+// One failure per group is survivable by construction (§III.D: no
+// stripe has two objects in one group). A second failure in a
+// *different* group makes some stripes unreadable; those operations are
+// counted in Result.LostOps rather than silently served.
+func (c *Cluster) FailOSD(osd int, at sim.Time) {
+	if osd < 0 || osd >= len(c.osds) {
+		panic(fmt.Sprintf("cluster: FailOSD(%d) out of range", osd))
+	}
+	c.eng.At(at, func(now sim.Time) {
+		c.failed[osd] = true
+		c.failedAt = now
+	})
+}
+
+// Failed reports whether the device is currently failed.
+func (c *Cluster) Failed(osd int) bool { return c.failed[osd] }
+
+// degradedFanOut serves a file operation when at least one of its
+// sub-operations targets a failed device. Accesses to live devices
+// proceed normally; accesses to failed ones are replaced by
+// reconstruction I/O on the survivors.
+func (c *Cluster) degradedFanOut(rec trace.Record, now sim.Time) sim.Time {
+	var accs = c.accessesFor(rec)
+	done := now
+	k := c.cfg.ObjectsPerFile
+	for _, a := range accs {
+		id := c.objectID(rec.File, a.Obj)
+		if !c.failed[c.locate(id)] {
+			end := c.subOp(id, []raid.Access{a}, now)
+			if end > done {
+				done = end
+			}
+			continue
+		}
+		// Reconstruct from the survivors: same byte range on each of
+		// the file's other objects.
+		c.degradedOps++
+		survivors := 0
+		for j := 0; j < k; j++ {
+			if j == a.Obj {
+				continue
+			}
+			peer := c.objectID(rec.File, j)
+			if c.failed[c.locate(peer)] {
+				continue // second failure in this stripe
+			}
+			survivors++
+			ra := a
+			ra.Obj = j
+			if a.Write {
+				// Degraded write: survivors absorb the update (parity
+				// carries the lost column).
+				ra.PreRead = true
+			} else {
+				ra.Write = false
+				ra.PreRead = true
+			}
+			end := c.subOp(peer, []raid.Access{ra}, now)
+			if end > done {
+				done = end
+			}
+		}
+		if survivors < k-1 {
+			// Fewer than k−1 columns left: the stripe is unreadable.
+			c.lostOps++
+		}
+	}
+	return done
+}
+
+// accessesFor returns the RAID accesses of a data record.
+func (c *Cluster) accessesFor(rec trace.Record) []raid.Access {
+	switch rec.Kind {
+	case trace.OpRead:
+		return c.geom.ReadAccesses(rec.Offset, rec.Size)
+	case trace.OpWrite:
+		return c.geom.WriteAccesses(rec.Offset, rec.Size)
+	}
+	return nil
+}
+
+// anyFailedTarget reports whether the record touches an object on a
+// failed device.
+func (c *Cluster) anyFailedTarget(rec trace.Record) bool {
+	if len(c.failed) == 0 {
+		return false
+	}
+	for _, a := range c.accessesFor(rec) {
+		if c.failed[c.locate(c.objectID(rec.File, a.Obj))] {
+			return true
+		}
+	}
+	return false
+}

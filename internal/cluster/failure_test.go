@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"testing"
+
+	"edm/internal/migration"
+	"edm/internal/sim"
+)
+
+func TestSingleFailureDegradedService(t *testing.T) {
+	tr := tinyTrace(t, 30)
+	cl, err := New(testConfig(16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FailOSD(3, sim.Millisecond) // fail early: most of the run is degraded
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every operation still completes: one lost column is survivable.
+	if res.Completed != len(tr.Records) {
+		t.Fatalf("completed %d of %d", res.Completed, len(tr.Records))
+	}
+	if res.DegradedOps == 0 {
+		t.Fatal("no sub-operation was served degraded despite the failure")
+	}
+	if res.LostOps != 0 {
+		t.Fatalf("single failure lost %d operations", res.LostOps)
+	}
+	// The failed device serves nothing after the failure instant.
+	if !cl.Failed(3) {
+		t.Fatal("device not marked failed")
+	}
+}
+
+func TestSingleFailureCostsLatency(t *testing.T) {
+	run := func(fail bool) *Result {
+		tr := tinyTrace(t, 31)
+		cl, err := New(testConfig(16), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fail {
+			cl.FailOSD(2, sim.Millisecond)
+		}
+		res, err := cl.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	healthy := run(false)
+	degraded := run(true)
+	// Reconstruction reads amplify load: the degraded run must be
+	// slower overall.
+	if degraded.Makespan <= healthy.Makespan {
+		t.Fatalf("degraded run not slower: %v vs %v", degraded.Makespan, healthy.Makespan)
+	}
+}
+
+func TestSecondFailureSameGroupSurvives(t *testing.T) {
+	// §III.D: OSDs 3 and 7 share group 3 (m=4); no stripe has two
+	// objects in one group, so both failing loses no data.
+	tr := tinyTrace(t, 32)
+	cl, err := New(testConfig(16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FailOSD(3, sim.Millisecond)
+	cl.FailOSD(7, 2*sim.Millisecond)
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostOps != 0 {
+		t.Fatalf("same-group double failure lost %d operations — §III.D violated", res.LostOps)
+	}
+	if res.Completed != len(tr.Records) {
+		t.Fatalf("completed %d of %d", res.Completed, len(tr.Records))
+	}
+}
+
+func TestSecondFailureDifferentGroupsLosesData(t *testing.T) {
+	// OSDs 3 and 4 are in different groups: some stripes lose two
+	// columns and their operations must be counted as lost.
+	tr := tinyTrace(t, 33)
+	cl, err := New(testConfig(16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.FailOSD(3, sim.Millisecond)
+	cl.FailOSD(4, 2*sim.Millisecond)
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostOps == 0 {
+		t.Fatal("cross-group double failure lost nothing — reconstruction accounting broken")
+	}
+	// The run still terminates (lost ops complete degraded-best-effort).
+	if res.Completed != len(tr.Records) {
+		t.Fatalf("completed %d of %d", res.Completed, len(tr.Records))
+	}
+}
+
+func TestMigrationAvoidsFailedDevices(t *testing.T) {
+	tr := tinyTrace(t, 34)
+	cfg := testConfig(16)
+	cfg.Migration = MigrateMidpoint
+	cl, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPlanner(migration.NewHDF(migration.DefaultConfig()))
+	cl.FailOSD(0, sim.Millisecond)
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range cl.moves {
+		if m.Src == 0 || m.Dst == 0 {
+			t.Fatalf("migration touched the failed device: %+v", m)
+		}
+	}
+	_ = res
+}
+
+func TestFailOSDRangePanics(t *testing.T) {
+	tr := tinyTrace(t, 35)
+	cl, err := New(testConfig(16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range FailOSD must panic")
+		}
+	}()
+	cl.FailOSD(99, 0)
+}

@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"edm/internal/migration"
+	"edm/internal/sim"
+	"edm/internal/temperature"
+	"edm/internal/wear"
+)
+
+// maybeMigrate runs the installed planner. With force the RSD gate is
+// bypassed (midpoint shuffle); otherwise the planner applies its own
+// trigger condition. A round already in flight suppresses new rounds.
+func (c *Cluster) maybeMigrate(now sim.Time, force bool) {
+	if c.planner == nil || c.migrating {
+		return
+	}
+	snap := c.Snapshot(now)
+	moves := c.planWith(snap, force)
+	if len(moves) == 0 {
+		return
+	}
+	c.migrations++
+	c.migrating = true
+	c.migStart = now
+	for _, o := range c.osds {
+		o.busyAtMig = o.busyTime
+	}
+	c.moves = append(c.moves, moves...)
+	c.executeMoves(moves, now)
+}
+
+// planWith invokes the planner, honouring force for the EDM and CMT
+// planners (they expose a Force field precisely for the paper's
+// midpoint-shuffle methodology).
+func (c *Cluster) planWith(snap *migration.Snapshot, force bool) []migration.Move {
+	switch p := c.planner.(type) {
+	case *migration.HDF:
+		saved := p.Force
+		p.Force = force || saved
+		defer func() { p.Force = saved }()
+		return p.Plan(snap)
+	case *migration.CDF:
+		saved := p.Force
+		p.Force = force || saved
+		defer func() { p.Force = saved }()
+		return p.Plan(snap)
+	case *migration.CMT:
+		saved := p.Force
+		p.Force = force || saved
+		defer func() { p.Force = saved }()
+		return p.Plan(snap)
+	default:
+		return c.planner.Plan(snap)
+	}
+}
+
+// Snapshot captures the cluster state the planners consume.
+func (c *Cluster) Snapshot(now sim.Time) *migration.Snapshot {
+	np := c.osds[0].SSD.Config().PagesPerBlock
+	snap := &migration.Snapshot{
+		Now:    now,
+		Model:  wear.NewModel(np, wear.DefaultSigma),
+		Layout: c.layout,
+	}
+	for _, o := range c.osds {
+		if c.failed[o.ID] {
+			continue // failed devices neither shed nor receive objects
+		}
+		st := o.SSD.Stats()
+		dev := migration.DeviceState{
+			OSD:           o.ID,
+			Group:         o.Group,
+			WinWritePages: float64(st.HostPageWrites),
+			Utilization:   o.SSD.Utilization(),
+			CapacityPages: o.SSD.TotalPages(),
+			UsedPages:     o.SSD.LivePages(),
+			LoadFactor:    o.LoadFactor(),
+		}
+		for _, id := range o.Store.IDs() {
+			ts := o.Tracker.Query(temperature.ObjectID(id), now)
+			dev.Objects = append(dev.Objects, migration.ObjectInfo{
+				ID:            id,
+				Home:          c.objectHome(id),
+				Pages:         o.Store.Pages(id),
+				Bytes:         o.Store.Size(id),
+				Remapped:      c.remap.Contains(id),
+				WriteTemp:     ts.WriteTemp,
+				TotalTemp:     ts.TotalTemp,
+				WinWritePages: ts.WinWrites,
+				CumAccesses:   ts.CumWrites + ts.CumReads,
+			})
+		}
+		snap.Devices = append(snap.Devices, dev)
+	}
+	return snap
+}
+
+// executeMoves runs the data mover: the moves of each source OSD form a
+// serial chain (one object in flight per source), and chains for
+// different sources proceed in parallel (§IV: the data mover shuffles
+// objects "using multi-threads"). Each move reads the object on the
+// source, writes it on the destination, trims the source copy, and
+// updates the remapping table. Under an HDF plan the object is locked —
+// requests block — from round start until its destination write
+// completes (§V.D).
+func (c *Cluster) executeMoves(moves []migration.Move, now sim.Time) {
+	blocks := c.planner.BlocksAccess()
+	bySource := make(map[int][]migration.Move)
+	var order []int
+	for _, m := range moves {
+		if _, ok := bySource[m.Src]; !ok {
+			order = append(order, m.Src)
+		}
+		bySource[m.Src] = append(bySource[m.Src], m)
+		if blocks {
+			c.locked[m.Obj] = true
+		}
+	}
+
+	remaining := len(order)
+	for _, src := range order {
+		chain := bySource[src]
+		c.runChain(chain, 0, now, blocks, func() {
+			remaining--
+			if remaining == 0 {
+				c.migrating = false
+				c.migEnd = c.eng.Now()
+				// A fresh balancing window starts after the round.
+				for _, o := range c.osds {
+					o.Tracker.ResetWindow()
+				}
+			}
+		})
+	}
+}
+
+// runChain executes chain[i:] serially, then calls done.
+func (c *Cluster) runChain(chain []migration.Move, i int, now sim.Time, blocks bool, done func()) {
+	if i >= len(chain) {
+		done()
+		return
+	}
+	c.moveObject(chain[i], now, blocks, func(at sim.Time) {
+		c.runChain(chain, i+1, at, blocks, done)
+	})
+}
+
+// migrationChunkBytes is the transfer granularity of the data mover.
+// Chunked transfers let foreground requests interleave with a large
+// object's relocation in the OSD queues — CDF's "impact only comes from
+// the competition of disk bandwidth" (§V.D) — instead of a multi-MB
+// head-of-line block.
+const migrationChunkBytes = 256 << 10
+
+// moveObject performs one migration action, calling done with its
+// completion time. The object is copied in chunks: each chunk is read
+// through the source OSD's queue, then written through the destination's
+// queue, so migration competes with foreground traffic chunk by chunk.
+func (c *Cluster) moveObject(m migration.Move, now sim.Time, blocks bool, done func(sim.Time)) {
+	src := c.osds[m.Src]
+	dst := c.osds[m.Dst]
+
+	abort := func(at sim.Time) {
+		if blocks {
+			c.unlockObject(m.Obj, at)
+		}
+		done(at)
+	}
+
+	if !src.Store.Has(m.Obj) || dst.Store.Has(m.Obj) ||
+		c.failed[m.Src] || c.failed[m.Dst] {
+		// The object moved or vanished since planning, or a device
+		// failed in the meantime; skip.
+		abort(now)
+		return
+	}
+	size := src.Store.Size(m.Obj)
+	if err := dst.Store.Create(m.Obj, size); err != nil {
+		// Destination has no room; abandon the move (the source copy
+		// remains authoritative).
+		c.rejected++
+		abort(now)
+		return
+	}
+
+	var step func(off int64, at sim.Time)
+	step = func(off int64, at sim.Time) {
+		if off >= size || size == 0 {
+			c.commitMove(m, size, at, blocks, done)
+			return
+		}
+		n := int64(migrationChunkBytes)
+		if off+n > size {
+			n = size - off
+		}
+		// Chunk read through the source queue.
+		readStart := at
+		if src.busyUntil > readStart {
+			readStart = src.busyUntil
+		}
+		readLat, _ := src.Store.Read(m.Obj, off, n)
+		readDone := readStart + c.cfg.NetOverhead + readLat
+		src.busyUntil = readDone
+		src.busyTime += c.cfg.NetOverhead + readLat
+
+		// Chunk write through the destination queue.
+		writeStart := readDone
+		if dst.busyUntil > writeStart {
+			writeStart = dst.busyUntil
+		}
+		writeLat, err := dst.Store.Write(m.Obj, off, n)
+		if err != nil {
+			c.rejected++
+			_ = dst.Store.Delete(m.Obj)
+			abort(readDone)
+			return
+		}
+		writeDone := writeStart + c.cfg.NetOverhead + writeLat
+		dst.busyUntil = writeDone
+		dst.busyTime += c.cfg.NetOverhead + writeLat
+
+		c.eng.At(writeDone, func(next sim.Time) { step(off+n, next) })
+	}
+	if size == 0 {
+		c.commitMove(m, size, now, blocks, done)
+		return
+	}
+	step(0, now)
+}
+
+// commitMove finalises a completed copy: trim the source copy, carry the
+// temperature history over, update the remapping table, and release the
+// HDF lock.
+func (c *Cluster) commitMove(m migration.Move, size int64, at sim.Time, blocks bool, done func(sim.Time)) {
+	src := c.osds[m.Src]
+	dst := c.osds[m.Dst]
+
+	_ = src.Store.Delete(m.Obj)
+	if snap, ok := src.Tracker.Export(temperature.ObjectID(m.Obj), at); ok {
+		dst.Tracker.Import(snap, at)
+	}
+	c.remap.Record(m.Obj, c.objectHome(m.Obj), m.Dst)
+	if blocks {
+		c.unlockObject(m.Obj, at)
+	}
+	c.movedPages += pagesOf(size, src.Store.PageSize())
+	c.movedBytes += size
+	done(at)
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"testing"
+
+	"edm/internal/migration"
+	"edm/internal/object"
+	"edm/internal/sim"
+	"edm/internal/temperature"
+)
+
+// execMoves force-executes an explicit plan on a fresh cluster via a
+// stub planner.
+type stubPlanner struct {
+	moves  []migration.Move
+	blocks bool
+}
+
+func (p *stubPlanner) Name() string                              { return "stub" }
+func (p *stubPlanner) BlocksAccess() bool                        { return p.blocks }
+func (p *stubPlanner) Plan(*migration.Snapshot) []migration.Move { return p.moves }
+
+func TestMoverTransfersObjectWithHistory(t *testing.T) {
+	tr := tinyTrace(t, 20)
+	cl, err := New(testConfig(16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := cl.OSD(0)
+	ids := src.Store.IDs()
+	if len(ids) == 0 {
+		t.Skip("no objects on OSD 0")
+	}
+	obj := ids[0]
+	pages := src.Store.Pages(obj)
+	// Give the object some temperature history to carry over.
+	src.Tracker.RecordWrite(tempID(obj), 7, 0)
+
+	dst := 4 // same group as 0 (m=4)
+	m := migration.Move{Obj: obj, Src: 0, Dst: dst, Pages: pages, Bytes: src.Store.Size(obj)}
+	cl.planner = &stubPlanner{}
+	doneAt := sim.Time(-1)
+	cl.moveObject(m, 0, false, func(at sim.Time) { doneAt = at })
+	cl.eng.Run()
+
+	if doneAt < 0 {
+		t.Fatal("move never completed")
+	}
+	if src.Store.Has(obj) {
+		t.Fatal("source still holds the object")
+	}
+	if !cl.OSD(dst).Store.Has(obj) {
+		t.Fatal("destination missing the object")
+	}
+	if cl.locate(obj) != dst {
+		t.Fatalf("remap points to %d", cl.locate(obj))
+	}
+	snap := cl.OSD(dst).Tracker.Query(tempID(obj), doneAt)
+	if snap.CumWrites != 7 {
+		t.Fatalf("temperature history lost: %+v", snap)
+	}
+	if cl.movedPages != pages {
+		t.Fatalf("movedPages = %d, want %d", cl.movedPages, pages)
+	}
+	// Source pages were trimmed on the device.
+	if src.Store.UsedPages() >= cl.OSD(dst).Store.UsedPages()+cl.OSD(dst).Store.CapacityPages() {
+		t.Fatal("bookkeeping absurdity") // sanity anchor; main checks above
+	}
+}
+
+func TestMoverSkipsVanishedObject(t *testing.T) {
+	tr := tinyTrace(t, 21)
+	cl, err := New(testConfig(16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.planner = &stubPlanner{}
+	called := false
+	cl.moveObject(migration.Move{Obj: 999999, Src: 0, Dst: 4, Pages: 10, Bytes: 40960}, 0, false,
+		func(sim.Time) { called = true })
+	if !called {
+		t.Fatal("done callback not invoked for vanished object")
+	}
+	if cl.movedPages != 0 {
+		t.Fatal("vanished object counted as moved")
+	}
+}
+
+func TestMoverAbortsWhenDestinationFull(t *testing.T) {
+	tr := tinyTrace(t, 22)
+	cl, err := New(testConfig(16), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := cl.OSD(0)
+	ids := src.Store.IDs()
+	if len(ids) == 0 {
+		t.Skip("no objects on OSD 0")
+	}
+	obj := ids[0]
+	dst := cl.OSD(4)
+	// Exhaust the destination's logical space.
+	if err := dst.Store.Create(424242, dst.Store.CapacityPages()*dst.Store.PageSize()); err != nil {
+		// Destination already nearly full — also fine for this test.
+		t.Logf("prefill: %v", err)
+	}
+	free := dst.Store.CapacityPages() - dst.Store.UsedPages()
+	if free*dst.Store.PageSize() >= src.Store.Size(obj) {
+		t.Skip("could not exhaust destination")
+	}
+
+	cl.planner = &stubPlanner{}
+	done := false
+	cl.moveObject(migration.Move{Obj: obj, Src: 0, Dst: 4, Pages: src.Store.Pages(obj), Bytes: src.Store.Size(obj)}, 0, true,
+		func(sim.Time) { done = true })
+	cl.eng.Run()
+	if !done {
+		t.Fatal("aborted move never completed its callback")
+	}
+	if !src.Store.Has(obj) {
+		t.Fatal("source copy lost on aborted move")
+	}
+	if cl.rejected == 0 {
+		t.Fatal("abort not counted as rejection")
+	}
+	if cl.locked[obj] {
+		t.Fatal("lock leaked by aborted move")
+	}
+}
+
+func TestGroupRotateEndToEnd(t *testing.T) {
+	tr := tinyTrace(t, 23)
+	cfg := testConfig(16)
+	cfg.GroupRotate = true
+	cfg.GroupSizes = []int{2, 3, 5, 6}
+	cfg.Migration = MigrateMidpoint
+	cl, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPlanner(migration.NewHDF(migration.DefaultConfig()))
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed != len(tr.Records) || res.Rejected != 0 {
+		t.Fatalf("run incomplete: %+v", res)
+	}
+	// Moves stayed intra-group under the explicit sizes.
+	for _, m := range cl.moves {
+		if !cl.layout.SameGroup(m.Src, m.Dst) {
+			t.Fatalf("cross-group move under group rotation: %+v", m)
+		}
+	}
+	// The small groups' devices carry more wear per device.
+	group0 := float64(res.EraseCounts[0]+res.EraseCounts[1]) / 2
+	group3 := 0.0
+	for d := 10; d < 16; d++ {
+		group3 += float64(res.EraseCounts[d])
+	}
+	group3 /= 6
+	if group0 <= group3 {
+		t.Fatalf("size-2 group should wear faster: %.0f vs %.0f", group0, group3)
+	}
+}
+
+func TestPeriodicTriggerFiresRepeatedly(t *testing.T) {
+	tr := tinyTrace(t, 24)
+	cfg := testConfig(16)
+	cfg.Migration = MigratePeriodic
+	cfg.TemperatureInterval = sim.Second / 4 // compressed cadence for the tiny replay
+	cl, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := migration.DefaultConfig()
+	mcfg.Lambda = 0.05
+	cl.SetPlanner(migration.NewHDF(mcfg))
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations < 1 {
+		t.Fatal("periodic trigger never fired")
+	}
+	if res.Completed != len(tr.Records) {
+		t.Fatalf("completed %d of %d", res.Completed, len(tr.Records))
+	}
+	// After every round committed, no locks or waiters linger.
+	if len(cl.locked) != 0 || len(cl.waiters) != 0 {
+		t.Fatalf("locks/waiters leaked: %d/%d", len(cl.locked), len(cl.waiters))
+	}
+}
+
+func TestBlockedOpsCounted(t *testing.T) {
+	tr := tinyTrace(t, 25)
+	cfg := testConfig(16)
+	cfg.Migration = MigrateMidpoint
+	cl, err := New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.SetPlanner(migration.NewHDF(migration.DefaultConfig()))
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// HDF moved hot objects mid-run; at least some requests should have
+	// parked on the locks (hot objects are, by construction, accessed).
+	if res.MovedObjects > 3 && res.BlockedOps == 0 {
+		t.Fatalf("%d objects moved but no request ever blocked", res.MovedObjects)
+	}
+}
+
+// tempID converts an object id to its temperature-tracker key.
+func tempID(id object.ID) temperature.ObjectID { return temperature.ObjectID(id) }

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edm/internal/object"
+	"edm/internal/sim"
+	"edm/internal/temperature"
+	"edm/internal/trace"
+)
+
+// Rebuild schedules a declustered RAID-5 rebuild of the failed device's
+// objects at virtual time at: each lost object is reconstructed by
+// reading its stripe's k−1 surviving objects and written to one of the
+// failed device's *group peers* — the §III.D-consistent destination,
+// since intra-group placement never co-locates two objects of a stripe.
+// Rebuilt objects are remapped to their new home, so degraded reads for
+// them stop as soon as each object commits; rebuild I/O flows through
+// the same serial device queues as foreground traffic.
+//
+// Destinations rotate through the group's surviving members by free
+// space. Rebuild of an object whose stripe has lost a second column is
+// skipped and counted in Result.UnrebuildableObjects.
+func (c *Cluster) Rebuild(failedOSD int, at sim.Time) {
+	if failedOSD < 0 || failedOSD >= len(c.osds) {
+		panic(fmt.Sprintf("cluster: Rebuild(%d) out of range", failedOSD))
+	}
+	c.eng.At(at, func(now sim.Time) { c.startRebuild(failedOSD, now) })
+}
+
+func (c *Cluster) startRebuild(failedOSD int, now sim.Time) {
+	if !c.failed[failedOSD] {
+		// Nothing to rebuild; count it as an empty round.
+		return
+	}
+	c.rebuildStart = now
+
+	// The object directory survives the device (it lives at the MDS);
+	// the data does not.
+	lost := c.osds[failedOSD].Store.IDs()
+
+	// Surviving group peers, by §III.D the only legal destinations.
+	var peers []int
+	for _, p := range c.layout.GroupMembers(c.layout.GroupOf(failedOSD)) {
+		if p != failedOSD && !c.failed[p] {
+			peers = append(peers, p)
+		}
+	}
+	if len(peers) == 0 || len(lost) == 0 {
+		c.rebuildEnd = now
+		return
+	}
+
+	// One serial rebuild chain (a real rebuilder throttles itself; one
+	// object in flight keeps foreground interference bounded).
+	var step func(i, peerIdx int, at sim.Time)
+	step = func(i, peerIdx int, at sim.Time) {
+		if i >= len(lost) {
+			c.rebuildEnd = at
+			return
+		}
+		obj := lost[i]
+		// Pick the peer with the most free space (ties by rotation).
+		best := peers[peerIdx%len(peers)]
+		for _, p := range peers {
+			if c.osds[p].Store.CapacityPages()-c.osds[p].Store.UsedPages() >
+				c.osds[best].Store.CapacityPages()-c.osds[best].Store.UsedPages() {
+				best = p
+			}
+		}
+		c.rebuildObject(obj, failedOSD, best, at, func(next sim.Time) {
+			step(i+1, peerIdx+1, next)
+		})
+	}
+	step(0, 0, now)
+}
+
+// rebuildObject reconstructs one object onto dst, chunk by chunk: each
+// chunk reads the stripe's surviving objects and programs the rebuilt
+// data. done receives the commit time.
+func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time, done func(sim.Time)) {
+	srcStore := c.osds[failedOSD].Store
+	if !srcStore.Has(obj) || c.failed[dst] {
+		done(now)
+		return
+	}
+	size := srcStore.Size(obj)
+	k := c.cfg.ObjectsPerFile
+	file := int64(obj) / int64(k)
+	idx := int(int64(obj) % int64(k))
+
+	// Verify the stripe is reconstructible: all k−1 peers alive.
+	var peerObjs []object.ID
+	for j := 0; j < k; j++ {
+		if j == idx {
+			continue
+		}
+		peer := c.objectID(trace.FileID(file), j)
+		if c.failed[c.locate(peer)] {
+			c.unrebuildable++
+			done(now)
+			return
+		}
+		peerObjs = append(peerObjs, peer)
+	}
+
+	target := c.osds[dst]
+	if err := target.Store.Create(obj, size); err != nil {
+		c.rejected++
+		done(now)
+		return
+	}
+
+	var step func(off int64, at sim.Time)
+	step = func(off int64, at sim.Time) {
+		if off >= size || size == 0 {
+			// Commit: the object now lives on dst.
+			_ = srcStore.Delete(obj) // directory bookkeeping; the device is dead
+			if snap, ok := c.osds[failedOSD].Tracker.Export(temperature.ObjectID(obj), at); ok {
+				target.Tracker.Import(snap, at)
+			}
+			c.remap.Record(obj, c.objectHome(obj), dst)
+			c.rebuilt++
+			c.rebuiltBytes += size
+			done(at)
+			return
+		}
+		n := int64(migrationChunkBytes)
+		if off+n > size {
+			n = size - off
+		}
+		// Reconstruction reads on every surviving stripe member, in
+		// parallel across their queues.
+		readDone := at
+		for _, peer := range peerObjs {
+			osd := c.osds[c.locate(peer)]
+			start := at
+			if osd.busyUntil > start {
+				start = osd.busyUntil
+			}
+			lat, _ := osd.Store.Read(peer, off, n)
+			end := start + c.cfg.NetOverhead + lat
+			osd.busyUntil = end
+			osd.busyTime += c.cfg.NetOverhead + lat
+			if end > readDone {
+				readDone = end
+			}
+		}
+		// Program the rebuilt chunk on the destination.
+		writeStart := readDone
+		if target.busyUntil > writeStart {
+			writeStart = target.busyUntil
+		}
+		writeLat, err := target.Store.Write(obj, off, n)
+		if err != nil {
+			c.rejected++
+			_ = target.Store.Delete(obj)
+			done(readDone)
+			return
+		}
+		writeDone := writeStart + c.cfg.NetOverhead + writeLat
+		target.busyUntil = writeDone
+		target.busyTime += c.cfg.NetOverhead + writeLat
+		c.eng.At(writeDone, func(next sim.Time) { step(off+n, next) })
+	}
+	step(0, now)
+}

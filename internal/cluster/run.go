@@ -1,0 +1,408 @@
+package cluster
+
+import (
+	"fmt"
+
+	"edm/internal/metrics"
+	"edm/internal/object"
+	"edm/internal/raid"
+	"edm/internal/sim"
+	"edm/internal/temperature"
+	"edm/internal/trace"
+)
+
+// stream replays one user's records in closed loop: the next record is
+// issued when the previous one completes. The paper's replayer is
+// multi-threaded with users evenly sharded across clients (§V.A), so
+// each user stream progresses concurrently; the client grouping affects
+// only where records are hosted, not their timing.
+type stream struct {
+	user    int
+	records []trace.Record
+	next    int
+}
+
+// pendingOp is a file operation parked on a locked object (§V.D: "all
+// the requests related to the objects being moved are blocked"). The
+// issue time is preserved so the eventual response time includes the
+// full wait — the Fig. 7 HDF spike.
+type pendingOp struct {
+	rec    trace.Record
+	issued sim.Time
+	st     *stream
+}
+
+// Result summarises one replay.
+type Result struct {
+	Policy    string
+	Trace     string
+	OSDs      int
+	Makespan  sim.Time
+	Completed int
+	Rejected  uint64 // operations dropped for lack of space (should be 0)
+
+	// ThroughputOps is completed file operations per second of virtual
+	// time — the Fig. 5 metric.
+	ThroughputOps float64
+
+	// MeanResponse is the mean per-operation response time in seconds;
+	// ResponseSeries is its time-bucketed evolution (Fig. 7).
+	MeanResponse    float64
+	P99Response     float64
+	ResponseSeries  []metrics.Point
+	MeanRespMigrate float64 // mean response of ops served during migration
+
+	// Wear (Fig. 1, Fig. 6).
+	EraseCounts     []uint64 // per OSD
+	WritePages      []uint64 // per OSD (host page writes)
+	AggregateErases uint64
+	AggregateWrites uint64
+
+	// Migration costs (Fig. 8).
+	MovedObjects int
+	// BlockedOps counts file operations that parked on an HDF object
+	// lock (§V.D) before completing.
+	BlockedOps uint64
+	// DegradedOps counts sub-operations served in RAID-5 degraded mode
+	// after a device failure; LostOps counts operations whose stripe
+	// had lost two columns (data unrecoverable).
+	DegradedOps uint64
+	LostOps     uint64
+	// Declustered rebuild outcome (zero-valued without a Rebuild call).
+	RebuiltObjects       int
+	RebuiltBytes         int64
+	UnrebuildableObjects int
+	RebuildStart         sim.Time
+	RebuildEnd           sim.Time
+	MovedPages           int64
+	MovedBytes           int64
+	Migrations           int
+	RemapEntries         int
+	RemapPeak            int
+
+	// Utilization spread at end of run.
+	Utilizations []float64
+
+	// BusyFractions is each OSD's service time divided by the makespan
+	// — the load-imbalance picture behind the throughput numbers.
+	BusyFractions []float64
+	// PostMigrationBusy is the same measure restricted to the span
+	// after the first migration round started (empty without one).
+	PostMigrationBusy []float64
+
+	MigrationStart sim.Time
+	MigrationEnd   sim.Time
+}
+
+// Run replays the whole trace and returns the result. It may be called
+// once per cluster.
+func (c *Cluster) Run() (*Result, error) {
+	if c.totalOps > 0 {
+		return nil, fmt.Errorf("cluster: Run called twice")
+	}
+	byUser := make(map[int]*stream)
+	var streams []*stream
+	for _, r := range c.tr.Records {
+		st := byUser[int(r.User)]
+		if st == nil {
+			st = &stream{user: int(r.User)}
+			byUser[int(r.User)] = st
+			streams = append(streams, st)
+		}
+		st.records = append(st.records, r)
+	}
+	for _, st := range streams {
+		c.totalOps += len(st.records)
+	}
+	if c.totalOps == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	if c.cfg.Migration == MigrateMidpoint {
+		c.migrateAfter = c.totalOps / 2
+	}
+	if c.cfg.Migration == MigratePeriodic && c.planner != nil {
+		// The wear monitor's cadence (§III.B.2: every minute). The
+		// ticker is stopped when the last operation completes so the
+		// event queue can drain.
+		c.wearTicker = c.eng.Every(c.cfg.TemperatureInterval, func(now sim.Time) {
+			c.maybeMigrate(now, false)
+		})
+	}
+
+	if c.cfg.OpenLoopRate > 0 {
+		// Open loop: records arrive on a fixed schedule in trace order.
+		interval := float64(sim.Second) / c.cfg.OpenLoopRate
+		for j, r := range c.tr.Records {
+			at := sim.Time(float64(j) * interval)
+			rec := r
+			c.eng.At(at, func(now sim.Time) {
+				c.startOp(pendingOp{rec: rec, issued: now}, now)
+			})
+		}
+	} else {
+		// Closed loop: kick every user stream at t=0.
+		for _, st := range streams {
+			st := st
+			c.eng.At(0, func(now sim.Time) { c.issueNext(st, now) })
+		}
+	}
+	c.eng.Run()
+
+	return c.buildResult(), nil
+}
+
+// issueNext executes the stream's next record and schedules the
+// follow-up on completion. A record that targets a locked object parks
+// until the lock's move commits.
+func (c *Cluster) issueNext(cl *stream, now sim.Time) {
+	if cl.next >= len(cl.records) {
+		return
+	}
+	rec := cl.records[cl.next]
+	cl.next++
+	c.startOp(pendingOp{rec: rec, issued: now, st: cl}, now)
+}
+
+// startOp runs (or parks) one file operation at virtual time now.
+func (c *Cluster) startOp(p pendingOp, now sim.Time) {
+	if obj, blocked := c.blockedObject(p.rec); blocked {
+		c.blockedSubOps++
+		c.waiters[obj] = append(c.waiters[obj], p)
+		return
+	}
+	done := c.execute(p.rec, now)
+	issued := p.issued
+	st := p.st
+	c.eng.At(done, func(at sim.Time) {
+		c.opCompleted(issued, at)
+		if st != nil {
+			c.issueNext(st, at)
+		}
+	})
+}
+
+// blockedObject reports whether the record touches a locked object.
+func (c *Cluster) blockedObject(rec trace.Record) (object.ID, bool) {
+	if len(c.locked) == 0 {
+		return 0, false
+	}
+	var accs []raid.Access
+	switch rec.Kind {
+	case trace.OpRead:
+		accs = c.geom.ReadAccesses(rec.Offset, rec.Size)
+	case trace.OpWrite:
+		accs = c.geom.WriteAccesses(rec.Offset, rec.Size)
+	default:
+		return 0, false
+	}
+	for _, a := range accs {
+		id := c.objectID(rec.File, a.Obj)
+		if c.locked[id] {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// unlockObject releases an HDF lock and resumes every parked request at
+// the release instant.
+func (c *Cluster) unlockObject(id object.ID, at sim.Time) {
+	if !c.locked[id] {
+		return
+	}
+	delete(c.locked, id)
+	parked := c.waiters[id]
+	delete(c.waiters, id)
+	for _, p := range parked {
+		c.startOp(p, at) // may re-park on another locked object
+	}
+}
+
+// opCompleted records response time and drives the midpoint trigger.
+func (c *Cluster) opCompleted(issued, done sim.Time) {
+	rt := (done - issued).Seconds()
+	c.respAll.Observe(rt)
+	c.respSeries.Observe(done.Seconds(), rt)
+	if c.migrating {
+		c.respMigr.Observe(rt)
+	}
+	c.completedOps++
+	if c.migrateAfter > 0 && c.completedOps >= c.migrateAfter {
+		c.migrateAfter = 0
+		c.maybeMigrate(done, true)
+	}
+	if c.completedOps == c.totalOps && c.wearTicker != nil {
+		c.wearTicker.Stop()
+	}
+}
+
+// execute fans a trace record out to the MDS or the OSDs and returns
+// its completion time.
+func (c *Cluster) execute(rec trace.Record, now sim.Time) sim.Time {
+	switch rec.Kind {
+	case trace.OpOpen, trace.OpClose:
+		// Metadata ops are served by the MDS; the paper's MDS is not
+		// the bottleneck, so a fixed latency models it.
+		return now + c.cfg.MDSLatency
+	case trace.OpRead, trace.OpWrite:
+		if c.anyFailedTarget(rec) {
+			return c.degradedFanOut(rec, now)
+		}
+		if rec.Kind == trace.OpRead {
+			return c.executeRead(rec, now)
+		}
+		return c.executeWrite(rec, now)
+	}
+	return now + c.cfg.MDSLatency
+}
+
+func (c *Cluster) executeRead(rec trace.Record, now sim.Time) sim.Time {
+	return c.fanOut(rec.File, c.geom.ReadAccesses(rec.Offset, rec.Size), now)
+}
+
+func (c *Cluster) executeWrite(rec trace.Record, now sim.Time) sim.Time {
+	return c.fanOut(rec.File, c.geom.WriteAccesses(rec.Offset, rec.Size), now)
+}
+
+// fanOut groups a file operation's accesses by object, performs one
+// sub-operation per object, and returns the slowest completion time.
+func (c *Cluster) fanOut(file trace.FileID, accs []raid.Access, now sim.Time) sim.Time {
+	done := now
+	// Group accesses by object index, preserving order. K is small
+	// (paper: 4), so a linear scan beats a map.
+	var seen [16]bool
+	for i, a := range accs {
+		if a.Obj < len(seen) && seen[a.Obj] {
+			continue
+		}
+		if a.Obj < len(seen) {
+			seen[a.Obj] = true
+		}
+		group := accs[i : i+1]
+		for j := i + 1; j < len(accs); j++ {
+			if accs[j].Obj == a.Obj {
+				group = append(group[:len(group):len(group)], accs[j])
+			}
+		}
+		end := c.subOp(c.objectID(file, a.Obj), group, now)
+		if end > done {
+			done = end
+		}
+	}
+	return done
+}
+
+// subOp performs one object-level sub-operation (a batch of ranges on
+// one object) through the owning OSD's serial queue and returns its
+// completion time. Flash state is mutated eagerly (admission order
+// equals service order under the serial-queue model); completion time
+// reflects queueing, HDF locks, the fixed overhead, and the device
+// latency.
+func (c *Cluster) subOp(id object.ID, accs []raid.Access, now sim.Time) sim.Time {
+	osd := c.osds[c.locate(id)]
+	start := now
+	if osd.busyUntil > start {
+		start = osd.busyUntil
+	}
+	ps := osd.Store.PageSize()
+	var dev sim.Time
+	for _, a := range accs {
+		if a.PreRead {
+			lat, err := osd.Store.Read(id, a.Offset, a.Length)
+			if err == nil {
+				dev += lat
+			}
+			if !a.Write {
+				osd.Tracker.RecordRead(temperature.ObjectID(id), int(pagesOf(a.Length, ps)), now)
+			}
+		}
+		if a.Write {
+			lat, err := osd.Store.Write(id, a.Offset, a.Length)
+			dev += lat
+			if err != nil {
+				c.rejected++
+			} else {
+				osd.Tracker.RecordWrite(temperature.ObjectID(id), int(pagesOf(a.Length, ps)), now)
+			}
+		}
+	}
+
+	doneAt := start + c.cfg.NetOverhead + dev
+	osd.busyUntil = doneAt
+	osd.subOps++
+	osd.busyTime += c.cfg.NetOverhead + dev
+	osd.load.Observe((doneAt - now).Seconds())
+	return doneAt
+}
+
+func pagesOf(bytes, pageSize int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + pageSize - 1) / pageSize
+}
+
+func (c *Cluster) buildResult() *Result {
+	res := &Result{
+		Policy:    c.policyName(),
+		Trace:     c.tr.Name,
+		OSDs:      len(c.osds),
+		Makespan:  c.eng.Now(),
+		Completed: c.completedOps,
+		Rejected:  c.rejected,
+
+		MovedObjects: len(c.moves),
+		BlockedOps:   c.blockedSubOps,
+		DegradedOps:  c.degradedOps,
+		LostOps:      c.lostOps,
+
+		RebuiltObjects:       c.rebuilt,
+		RebuiltBytes:         c.rebuiltBytes,
+		UnrebuildableObjects: c.unrebuildable,
+		RebuildStart:         c.rebuildStart,
+		RebuildEnd:           c.rebuildEnd,
+		MovedPages:           c.movedPages,
+		MovedBytes:           c.movedBytes,
+		Migrations:           c.migrations,
+
+		MigrationStart: c.migStart,
+		MigrationEnd:   c.migEnd,
+	}
+	if res.Makespan > 0 {
+		res.ThroughputOps = float64(res.Completed) / res.Makespan.Seconds()
+	}
+	res.MeanResponse = c.respAll.Mean()
+	res.P99Response = c.respAll.Quantile(0.99)
+	res.ResponseSeries = c.respSeries.Points()
+	res.MeanRespMigrate = c.respMigr.Mean()
+
+	for _, o := range c.osds {
+		st := o.SSD.Stats()
+		res.EraseCounts = append(res.EraseCounts, st.Erases)
+		res.WritePages = append(res.WritePages, st.HostPageWrites)
+		res.AggregateErases += st.Erases
+		res.AggregateWrites += st.HostPageWrites
+		res.Utilizations = append(res.Utilizations, o.SSD.Utilization())
+		busy := 0.0
+		if res.Makespan > 0 {
+			busy = o.busyTime.Seconds() / res.Makespan.Seconds()
+		}
+		res.BusyFractions = append(res.BusyFractions, busy)
+		if c.migrations > 0 && res.Makespan > c.migStart {
+			span := (res.Makespan - c.migStart).Seconds()
+			res.PostMigrationBusy = append(res.PostMigrationBusy,
+				(o.busyTime-o.busyAtMig).Seconds()/span)
+		}
+	}
+	rs := c.remap.Stats()
+	res.RemapEntries = rs.Entries
+	res.RemapPeak = rs.PeakEntries
+	return res
+}
+
+func (c *Cluster) policyName() string {
+	if c.planner == nil || c.cfg.Migration == MigrateNever {
+		return "baseline"
+	}
+	return c.planner.Name()
+}

@@ -1,0 +1,201 @@
+// Package experiment regenerates every table and figure of the EDM
+// paper's evaluation (§V) from the simulation library. Each experiment
+// returns a structured result with a Format method that prints the same
+// rows/series the paper reports; cmd/edmbench is a thin shell around
+// this package.
+//
+// Runs within an experiment are independent simulations, so the harness
+// fans them out over a bounded worker pool — results are keyed, never
+// order-dependent, keeping output deterministic regardless of
+// scheduling.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"edm/internal/cluster"
+	"edm/internal/metrics"
+	"edm/internal/trace"
+)
+
+// Policy mirrors the four systems of the evaluation. (Deliberately a
+// local copy: the experiment layer addresses policies by figure label.)
+type Policy string
+
+// The four systems, labelled as in the paper's figures.
+const (
+	Baseline Policy = "baseline"
+	CMT      Policy = "CMT"
+	HDF      Policy = "EDM-HDF"
+	CDF      Policy = "EDM-CDF"
+)
+
+// AllPolicies in presentation order.
+var AllPolicies = []Policy{Baseline, CMT, HDF, CDF}
+
+// Options scope an experiment run.
+type Options struct {
+	// Scale divides the Table I workloads (1 = full size). Default 20:
+	// every figure reproduces in minutes on a laptop, and the workload
+	// concentration at this scale matches the imbalance regime of the
+	// paper's Fig. 1 (see EXPERIMENTS.md for scale sensitivity).
+	Scale int
+	// Seed drives workload generation and the simulations.
+	Seed uint64
+	// Parallelism bounds the worker pool (default: NumCPU).
+	Parallelism int
+	// OSDCounts for the matrix experiments (default: 16 and 20, §V.A).
+	OSDCounts []int
+	// Traces for the matrix experiments (default: all seven).
+	Traces []string
+	// Lambda is the trigger threshold (default 0.1).
+	Lambda float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 20
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.NumCPU()
+	}
+	if len(o.OSDCounts) == 0 {
+		o.OSDCounts = []int{16, 20}
+	}
+	if len(o.Traces) == 0 {
+		o.Traces = trace.ProfileNames()
+	}
+	if o.Lambda == 0 {
+		o.Lambda = 0.1
+	}
+	return o
+}
+
+// pool runs jobs over a bounded worker pool and waits for completion.
+func pool(parallelism int, jobs []func()) {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		job := job
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			job()
+		}()
+	}
+	wg.Wait()
+}
+
+// Cell is one (trace, cluster size, policy) simulation outcome: the unit
+// of Figs. 5, 6 and 8.
+type Cell struct {
+	Trace  string
+	OSDs   int
+	Policy Policy
+	Err    error
+	Result *cluster.Result
+}
+
+// Matrix runs the full trace × cluster-size × policy grid once and
+// returns every cell; Figs. 5, 6 and 8 are different projections of the
+// same runs, exactly as in the paper.
+func Matrix(opts Options) []Cell {
+	opts = opts.withDefaults()
+	var cells []Cell
+	for _, tr := range opts.Traces {
+		for _, n := range opts.OSDCounts {
+			for _, p := range AllPolicies {
+				cells = append(cells, Cell{Trace: tr, OSDs: n, Policy: p})
+			}
+		}
+	}
+	jobs := make([]func(), len(cells))
+	for i := range cells {
+		c := &cells[i]
+		jobs[i] = func() {
+			c.Result, c.Err = runOne(c.Trace, c.OSDs, c.Policy, opts)
+		}
+	}
+	pool(opts.Parallelism, jobs)
+	return cells
+}
+
+// FindCell locates a cell in a matrix.
+func FindCell(cells []Cell, tr string, osds int, p Policy) *Cell {
+	for i := range cells {
+		c := &cells[i]
+		if c.Trace == tr && c.OSDs == osds && c.Policy == p {
+			return c
+		}
+	}
+	return nil
+}
+
+// table is a tiny text-table builder for Format methods.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// rsdOf computes the relative standard deviation of uint64 counters.
+func rsdOf(xs []uint64) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return metrics.RSD(fs)
+}
+
+// sortedKeys returns map keys in sorted order (deterministic output).
+func sortedKeys[K ~string, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

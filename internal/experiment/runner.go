@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"fmt"
+
+	"edm/internal/cluster"
+	"edm/internal/migration"
+	"edm/internal/trace"
+)
+
+// buildTrace materialises a named workload at the experiment scale.
+func buildTrace(name string, opts Options) (*trace.Trace, error) {
+	if name == "random" {
+		return trace.Generate(trace.RandomProfile(2000, 400000).Scaled(opts.Scale), opts.Seed)
+	}
+	p, ok := trace.LookupProfile(name)
+	if !ok {
+		return nil, fmt.Errorf("experiment: unknown workload %q", name)
+	}
+	return trace.Generate(p.Scaled(opts.Scale), opts.Seed)
+}
+
+// plannerFor constructs the policy's planner (nil for the baseline).
+func plannerFor(p Policy, opts Options) migration.Planner {
+	cfg := migration.DefaultConfig()
+	cfg.Lambda = opts.Lambda
+	switch p {
+	case CMT:
+		return migration.NewCMT(cfg)
+	case HDF:
+		return migration.NewHDF(cfg)
+	case CDF:
+		return migration.NewCDF(cfg)
+	}
+	return nil
+}
+
+// runOne executes a single (trace, OSDs, policy) simulation with the
+// paper's methodology: warm-up to steady state, midpoint shuffle.
+func runOne(name string, osds int, p Policy, opts Options) (*cluster.Result, error) {
+	return runOneWith(name, osds, p, opts, nil)
+}
+
+// runOneWith additionally lets an experiment adjust the cluster config
+// (e.g. Fig. 7's finer response-time buckets) before the run.
+func runOneWith(name string, osds int, p Policy, opts Options, tweak func(*cluster.Config)) (*cluster.Result, error) {
+	tr, err := buildTrace(name, opts)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cluster.Config{
+		OSDs:           osds,
+		Groups:         4,
+		ObjectsPerFile: 4,
+		Seed:           opts.Seed,
+	}
+	if p == Baseline {
+		cfg.Migration = cluster.MigrateNever
+	} else {
+		cfg.Migration = cluster.MigrateMidpoint
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	cl, err := cluster.New(cfg, tr)
+	if err != nil {
+		return nil, err
+	}
+	if planner := plannerFor(p, opts); planner != nil {
+		cl.SetPlanner(planner)
+	}
+	return cl.Run()
+}

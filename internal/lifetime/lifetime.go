@@ -1,0 +1,277 @@
+// Package lifetime quantifies the endurance and reliability story of
+// EDM's §III.D.
+//
+// Balancing wear across all SSDs has a sting: perfectly balanced
+// devices approach their program/erase budgets together, so the cluster
+// risks simultaneous failures — fatal for RAID-5 stripes, which survive
+// one loss. Diff-RAID [2] staggers wear by skewing write ratios across
+// devices, at the cost of deliberate load imbalance. EDM's answer is
+// structural: files are striped across placement groups (one object per
+// group), migration is intra-group, and groups are given different
+// device counts. Each group absorbs roughly the same total wear (one
+// stripe unit per file lands in each), so a group with more devices
+// wears each of them more slowly — devices in different groups drift
+// apart in wear speed without any load imbalance, and simultaneous
+// wear-out only threatens devices within one group, which never share a
+// stripe.
+//
+// This package turns those arguments into numbers: P/E-budget lifetime
+// projections from measured erase counts, a cross-group simultaneous
+// wear-out risk metric, the §III.D group-size staggering schedule, and
+// the Diff-RAID write-skew alternative for comparison.
+package lifetime
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultPEBudget is a typical MLC NAND program/erase cycle budget.
+const DefaultPEBudget = 3000
+
+// DeviceWear is one SSD's observed wear over a measurement window.
+type DeviceWear struct {
+	Device int
+	Group  int
+	Erases uint64 // block erases during the window
+	Blocks int    // physical blocks (erases/blocks = mean P/E cycles used)
+}
+
+// CyclesUsed returns the mean P/E cycles consumed per block during the
+// window.
+func (d DeviceWear) CyclesUsed() float64 {
+	if d.Blocks == 0 {
+		return 0
+	}
+	return float64(d.Erases) / float64(d.Blocks)
+}
+
+// Projection is a device's projected wear-out horizon, in multiples of
+// the measurement window ("window units": if the window was a day, a
+// horizon of 900 means ~900 days).
+type Projection struct {
+	Device  int
+	Group   int
+	Horizon float64 // windows until the P/E budget is exhausted; +Inf if unworn
+}
+
+// Project extrapolates each device's observed wear rate against the
+// budget. Devices are assumed fresh at the window start (the paper's
+// cluster was); pre-worn devices can be modelled by reducing budget.
+func Project(wear []DeviceWear, budget float64) []Projection {
+	if budget <= 0 {
+		panic(fmt.Sprintf("lifetime: non-positive P/E budget %v", budget))
+	}
+	out := make([]Projection, len(wear))
+	for i, d := range wear {
+		rate := d.CyclesUsed()
+		p := Projection{Device: d.Device, Group: d.Group, Horizon: math.Inf(1)}
+		if rate > 0 {
+			p.Horizon = budget / rate
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// RiskReport summarises simultaneous wear-out exposure.
+type RiskReport struct {
+	// FirstDeath is the earliest horizon (the cluster's first device
+	// replacement), in window units.
+	FirstDeath float64
+	// CrossGroupPairs counts device pairs in *different* groups — the
+	// pairs whose simultaneous loss can break a RAID-5 stripe.
+	CrossGroupPairs int
+	// RiskyPairs counts cross-group pairs whose horizons fall within
+	// the coincidence window of each other.
+	RiskyPairs int
+	// IntraGroupCoincidences counts same-group pairs within the window
+	// — harmless by construction (§III.D), reported for contrast.
+	IntraGroupCoincidences int
+}
+
+// RiskFraction is RiskyPairs / CrossGroupPairs (0 when no pairs).
+func (r RiskReport) RiskFraction() float64 {
+	if r.CrossGroupPairs == 0 {
+		return 0
+	}
+	return float64(r.RiskyPairs) / float64(r.CrossGroupPairs)
+}
+
+// AssessRisk counts cross-group projection pairs that wear out within
+// coincidence (relative, e.g. 0.05 = horizons within 5% of each other).
+// Only finite horizons participate.
+func AssessRisk(projs []Projection, coincidence float64) RiskReport {
+	if coincidence < 0 {
+		panic(fmt.Sprintf("lifetime: negative coincidence window %v", coincidence))
+	}
+	rep := RiskReport{FirstDeath: math.Inf(1)}
+	for _, p := range projs {
+		if p.Horizon < rep.FirstDeath {
+			rep.FirstDeath = p.Horizon
+		}
+	}
+	for i := 0; i < len(projs); i++ {
+		for j := i + 1; j < len(projs); j++ {
+			a, b := projs[i], projs[j]
+			if math.IsInf(a.Horizon, 1) || math.IsInf(b.Horizon, 1) {
+				continue
+			}
+			lo, hi := a.Horizon, b.Horizon
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			coincident := hi-lo <= coincidence*lo
+			if a.Group == b.Group {
+				if coincident {
+					rep.IntraGroupCoincidences++
+				}
+				continue
+			}
+			rep.CrossGroupPairs++
+			if coincident {
+				rep.RiskyPairs++
+			}
+		}
+	}
+	return rep
+}
+
+// StaggeredGroupSizes returns §III.D's device counts per group:
+// deliberately unequal sizes summing to n. Because RAID-5 stripes place
+// one object in every group, each group absorbs ~the same total wear;
+// per-device wear speed is therefore inversely proportional to group
+// size, and distinct sizes yield distinct wear speeds across groups.
+// The schedule spreads sizes as evenly-but-distinctly as possible
+// around n/m (e.g. n=18, m=4 → [3 4 5 6]).
+func StaggeredGroupSizes(n, m int) ([]int, error) {
+	if m <= 0 || n < m {
+		return nil, fmt.Errorf("lifetime: cannot split %d devices into %d groups", n, m)
+	}
+	// Start from the maximally-distinct ladder centred on n/m:
+	// base-k, …, base, …, base+k, then fix the remainder on the ends.
+	sizes := make([]int, m)
+	base := n / m
+	// Ladder offsets: -(m-1)/2 … +m/2 (distinct by construction).
+	for i := range sizes {
+		sizes[i] = base + i - (m-1)/2
+	}
+	// Repair: sizes must be >= 1 and sum to n.
+	sum := 0
+	for i := range sizes {
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		sum += sizes[i]
+	}
+	for i := m - 1; sum < n; i = (i + m - 1) % m {
+		sizes[i]++
+		sum++
+	}
+	for i := 0; sum > n; i = (i + 1) % m {
+		if sizes[i] > 1 {
+			sizes[i]--
+			sum--
+		}
+	}
+	sort.Ints(sizes)
+	return sizes, nil
+}
+
+// GroupWearSpeeds returns the per-device wear speed of each group under
+// the equal-total-wear-per-group model, normalised so a group of mean
+// size has speed 1. Distinct group sizes ⇒ distinct speeds — the
+// §III.D staggering effect.
+func GroupWearSpeeds(sizes []int) []float64 {
+	if len(sizes) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, s := range sizes {
+		sum += float64(s)
+	}
+	mean := sum / float64(len(sizes))
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("lifetime: non-positive group size %d", s))
+		}
+		out[i] = mean / float64(s)
+	}
+	return out
+}
+
+// StaggerProjections applies group wear speeds to a balanced per-device
+// baseline horizon: the group with speed v sees horizon baseline/v.
+// This is the analytical §III.D picture: intra-group migration keeps
+// devices within a group balanced (they die together — harmlessly),
+// while groups drift apart.
+func StaggerProjections(baseline float64, sizes []int) []Projection {
+	speeds := GroupWearSpeeds(sizes)
+	var projs []Projection
+	dev := 0
+	for g, size := range sizes {
+		for i := 0; i < size; i++ {
+			projs = append(projs, Projection{
+				Device:  dev,
+				Group:   g,
+				Horizon: baseline / speeds[g],
+			})
+			dev++
+		}
+	}
+	return projs
+}
+
+// DiffRAIDWeights returns Diff-RAID-style write-ratio weights for n
+// devices: device i receives a share proportional to i+1 of the write
+// traffic, staggering wear at the price of load imbalance [2]. The
+// weights are normalised to mean 1.
+func DiffRAIDWeights(n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	sum := float64(n*(n+1)) / 2
+	for i := range out {
+		out[i] = float64(i+1) * float64(n) / sum
+	}
+	return out
+}
+
+// LoadImbalance is max/mean of a weight vector — 1.0 is perfectly
+// balanced; Diff-RAID's staggering pushes it to ~2 for moderate n.
+func LoadImbalance(weights []float64) float64 {
+	if len(weights) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, w := range weights {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	mean := sum / float64(len(weights))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// DiffRAIDProjections staggers a balanced baseline horizon by write
+// weights: more writes → proportionally earlier wear-out. Groups are
+// ignored (Diff-RAID is not group-aware); each device forms its own
+// group so AssessRisk treats every pair as stripe-relevant.
+func DiffRAIDProjections(baseline float64, weights []float64) []Projection {
+	out := make([]Projection, len(weights))
+	for i, w := range weights {
+		h := math.Inf(1)
+		if w > 0 {
+			h = baseline / w
+		}
+		out[i] = Projection{Device: i, Group: i, Horizon: h}
+	}
+	return out
+}

@@ -1,0 +1,248 @@
+package lifetime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCyclesUsed(t *testing.T) {
+	d := DeviceWear{Erases: 3000, Blocks: 100}
+	if d.CyclesUsed() != 30 {
+		t.Fatalf("CyclesUsed = %v", d.CyclesUsed())
+	}
+	if (DeviceWear{Erases: 10, Blocks: 0}).CyclesUsed() != 0 {
+		t.Fatal("zero blocks should report zero cycles")
+	}
+}
+
+func TestProject(t *testing.T) {
+	wear := []DeviceWear{
+		{Device: 0, Group: 0, Erases: 300, Blocks: 100}, // 3 cycles/window
+		{Device: 1, Group: 1, Erases: 150, Blocks: 100}, // 1.5 cycles/window
+		{Device: 2, Group: 2, Erases: 0, Blocks: 100},   // unworn
+	}
+	projs := Project(wear, 3000)
+	if projs[0].Horizon != 1000 {
+		t.Fatalf("device 0 horizon %v", projs[0].Horizon)
+	}
+	if projs[1].Horizon != 2000 {
+		t.Fatalf("device 1 horizon %v", projs[1].Horizon)
+	}
+	if !math.IsInf(projs[2].Horizon, 1) {
+		t.Fatalf("unworn device horizon %v", projs[2].Horizon)
+	}
+}
+
+func TestProjectPanicsOnBadBudget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive budget must panic")
+		}
+	}()
+	Project(nil, 0)
+}
+
+func TestAssessRiskBalancedWearIsRisky(t *testing.T) {
+	// Four devices in four groups, all dying at 1000 windows: every
+	// cross-group pair is coincident — the §III.D hazard of perfectly
+	// balanced wear.
+	var projs []Projection
+	for i := 0; i < 4; i++ {
+		projs = append(projs, Projection{Device: i, Group: i, Horizon: 1000})
+	}
+	rep := AssessRisk(projs, 0.05)
+	if rep.CrossGroupPairs != 6 || rep.RiskyPairs != 6 {
+		t.Fatalf("report %+v", rep)
+	}
+	if rep.RiskFraction() != 1 {
+		t.Fatalf("risk fraction %v", rep.RiskFraction())
+	}
+	if rep.FirstDeath != 1000 {
+		t.Fatalf("first death %v", rep.FirstDeath)
+	}
+}
+
+func TestAssessRiskStaggeredGroupsAreSafe(t *testing.T) {
+	// Two groups far apart in horizon: same-group devices coincide
+	// (harmless), cross-group pairs never do.
+	projs := []Projection{
+		{Device: 0, Group: 0, Horizon: 1000},
+		{Device: 1, Group: 0, Horizon: 1010},
+		{Device: 2, Group: 1, Horizon: 2000},
+		{Device: 3, Group: 1, Horizon: 2020},
+	}
+	rep := AssessRisk(projs, 0.05)
+	if rep.RiskyPairs != 0 {
+		t.Fatalf("staggered groups flagged risky: %+v", rep)
+	}
+	if rep.IntraGroupCoincidences != 2 {
+		t.Fatalf("intra-group coincidences %d", rep.IntraGroupCoincidences)
+	}
+	if rep.CrossGroupPairs != 4 {
+		t.Fatalf("cross pairs %d", rep.CrossGroupPairs)
+	}
+}
+
+func TestAssessRiskIgnoresInfinite(t *testing.T) {
+	projs := []Projection{
+		{Device: 0, Group: 0, Horizon: 1000},
+		{Device: 1, Group: 1, Horizon: math.Inf(1)},
+	}
+	rep := AssessRisk(projs, 0.5)
+	if rep.RiskyPairs != 0 || rep.CrossGroupPairs != 0 {
+		t.Fatalf("infinite horizon counted: %+v", rep)
+	}
+}
+
+func TestStaggeredGroupSizes(t *testing.T) {
+	sizes, err := StaggeredGroupSizes(18, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	seen := map[int]bool{}
+	for _, s := range sizes {
+		if s < 1 {
+			t.Fatalf("size %d < 1", s)
+		}
+		sum += s
+		seen[s] = true
+	}
+	if sum != 18 {
+		t.Fatalf("sizes %v sum to %d", sizes, sum)
+	}
+	if len(seen) < 3 {
+		t.Fatalf("sizes %v not distinct enough for staggering", sizes)
+	}
+}
+
+func TestStaggeredGroupSizesErrors(t *testing.T) {
+	if _, err := StaggeredGroupSizes(3, 4); err == nil {
+		t.Fatal("n < m should fail")
+	}
+	if _, err := StaggeredGroupSizes(4, 0); err == nil {
+		t.Fatal("m = 0 should fail")
+	}
+}
+
+// Property: the schedule always sums to n with all sizes >= 1.
+func TestPropertyStaggeredSizesValid(t *testing.T) {
+	f := func(nRaw, mRaw uint8) bool {
+		m := int(mRaw)%8 + 1
+		n := m + int(nRaw)%40
+		sizes, err := StaggeredGroupSizes(n, m)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for _, s := range sizes {
+			if s < 1 {
+				return false
+			}
+			sum += s
+		}
+		return sum == n && len(sizes) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupWearSpeeds(t *testing.T) {
+	speeds := GroupWearSpeeds([]int{3, 4, 5, 6})
+	// Equal total wear per group: smaller groups wear faster.
+	for i := 1; i < len(speeds); i++ {
+		if speeds[i] >= speeds[i-1] {
+			t.Fatalf("speeds not decreasing with size: %v", speeds)
+		}
+	}
+	// Normalisation: mean-size group ≈ speed 1.
+	var sum float64
+	for i, s := range []int{3, 4, 5, 6} {
+		sum += speeds[i] * float64(s)
+	}
+	if math.Abs(sum/18-1) > 1e-9 {
+		t.Fatalf("speeds not normalised: %v", speeds)
+	}
+}
+
+func TestStaggerBeatsUniform(t *testing.T) {
+	// The §III.D claim, end to end: with uniform groups every device
+	// dies together (max cross-group risk); with staggered sizes the
+	// cross-group risk collapses.
+	uniformSizes := []int{4, 4, 4, 4}
+	staggered, err := StaggeredGroupSizes(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uni := AssessRisk(StaggerProjections(1000, uniformSizes), 0.05)
+	stag := AssessRisk(StaggerProjections(1000, staggered), 0.05)
+	if uni.RiskFraction() != 1 {
+		t.Fatalf("uniform groups should be fully coincident: %+v", uni)
+	}
+	if stag.RiskFraction() >= uni.RiskFraction()/2 {
+		t.Fatalf("staggering did not reduce risk: %v vs %v", stag.RiskFraction(), uni.RiskFraction())
+	}
+}
+
+func TestDiffRAIDWeights(t *testing.T) {
+	w := DiffRAIDWeights(4)
+	var sum float64
+	for i := 1; i < len(w); i++ {
+		if w[i] <= w[i-1] {
+			t.Fatalf("weights not increasing: %v", w)
+		}
+	}
+	for _, x := range w {
+		sum += x
+	}
+	if math.Abs(sum/4-1) > 1e-9 {
+		t.Fatalf("weights not mean-1: %v", w)
+	}
+	if DiffRAIDWeights(0) != nil {
+		t.Fatal("n=0 should be nil")
+	}
+}
+
+func TestDiffRAIDTradeoff(t *testing.T) {
+	// Diff-RAID staggers wear (low risk) but pays load imbalance;
+	// EDM's group staggering gets low risk at imbalance 1.0.
+	n := 16
+	weights := DiffRAIDWeights(n)
+	diff := AssessRisk(DiffRAIDProjections(1000, weights), 0.05)
+	if diff.RiskFraction() > 0.3 {
+		t.Fatalf("Diff-RAID should stagger wear: %+v", diff)
+	}
+	if im := LoadImbalance(weights); im < 1.5 {
+		t.Fatalf("Diff-RAID should be load-imbalanced: %v", im)
+	}
+	// EDM's structural staggering has no write-ratio skew at all.
+	if im := LoadImbalance([]float64{1, 1, 1, 1}); im != 1 {
+		t.Fatalf("uniform load imbalance %v", im)
+	}
+}
+
+func TestLoadImbalanceEdgeCases(t *testing.T) {
+	if LoadImbalance(nil) != 1 {
+		t.Fatal("empty weights")
+	}
+	if LoadImbalance([]float64{0, 0}) != 1 {
+		t.Fatal("zero weights")
+	}
+}
+
+func TestStaggerProjectionsLayout(t *testing.T) {
+	projs := StaggerProjections(1200, []int{2, 3})
+	if len(projs) != 5 {
+		t.Fatalf("projections %d", len(projs))
+	}
+	// Devices 0,1 in group 0 (size 2, faster wear → shorter horizon);
+	// devices 2..4 in group 1.
+	if projs[0].Group != 0 || projs[4].Group != 1 {
+		t.Fatalf("group layout wrong: %+v", projs)
+	}
+	if projs[0].Horizon >= projs[4].Horizon {
+		t.Fatalf("small group should die first: %+v", projs)
+	}
+}

@@ -1,0 +1,222 @@
+// Package metrics provides the statistical primitives used throughout the
+// EDM simulator: exponentially weighted moving averages (the CMT load
+// factor), running mean/variance (wear-imbalance trigger), streaming
+// histograms with percentiles (response times), and time-bucketed series
+// (the Fig. 7 response-time timeline).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EWMA is an exponentially weighted moving average. The zero value is not
+// usable; construct with NewEWMA.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns an EWMA with smoothing factor alpha in (0, 1]. Larger
+// alpha weights recent observations more heavily.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("metrics: EWMA alpha %v out of (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a new sample into the average.
+func (e *EWMA) Observe(x float64) {
+	if !e.started {
+		e.value = x
+		e.started = true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Started reports whether at least one sample has been observed.
+func (e *EWMA) Started() bool { return e.started }
+
+// Running accumulates count, mean and variance with Welford's algorithm.
+// The zero value is ready to use.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Observe adds a sample.
+func (r *Running) Observe(x float64) {
+	r.n++
+	r.sum += x
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Count returns the number of samples.
+func (r *Running) Count() int64 { return r.n }
+
+// Sum returns the sum of samples.
+func (r *Running) Sum() float64 { return r.sum }
+
+// Mean returns the sample mean (0 with no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 with no samples).
+func (r *Running) Max() float64 { return r.max }
+
+// Variance returns the population variance.
+func (r *Running) Variance() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// StdDev returns the population standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// RSD returns the relative standard deviation (stddev / mean), the wear
+// imbalance measure in the EDM trigger condition. It returns 0 when the
+// mean is 0.
+func (r *Running) RSD() float64 {
+	if r.mean == 0 {
+		return 0
+	}
+	return r.StdDev() / r.mean
+}
+
+// RSD computes the relative standard deviation of a slice in one pass.
+func RSD(xs []float64) float64 {
+	var r Running
+	for _, x := range xs {
+		r.Observe(x)
+	}
+	return r.RSD()
+}
+
+// Mean computes the arithmetic mean of a slice (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Histogram collects samples for percentile queries. It stores raw
+// values; simulation runs produce at most a few million samples, well
+// within memory for the experiment scale.
+type Histogram struct {
+	xs     []float64
+	sorted bool
+}
+
+// Observe adds a sample.
+func (h *Histogram) Observe(x float64) {
+	h.xs = append(h.xs, x)
+	h.sorted = false
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.xs) }
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 { return Mean(h.xs) }
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples. It returns 0 with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.xs) == 0 {
+		return 0
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
+	}
+	if !h.sorted {
+		sort.Float64s(h.xs)
+		h.sorted = true
+	}
+	idx := int(math.Ceil(q*float64(len(h.xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return h.xs[idx]
+}
+
+// TimeSeries buckets (t, value) observations into fixed-width windows and
+// reports the per-window mean — exactly the "average response time of
+// file operations served in the past 3 minutes" presentation of Fig. 7.
+type TimeSeries struct {
+	width   float64
+	buckets map[int64]*Running
+}
+
+// NewTimeSeries creates a series with the given bucket width (same unit
+// as the observation timestamps; EDM uses seconds).
+func NewTimeSeries(width float64) *TimeSeries {
+	if width <= 0 {
+		panic("metrics: non-positive TimeSeries width")
+	}
+	return &TimeSeries{width: width, buckets: make(map[int64]*Running)}
+}
+
+// Observe records value at time t.
+func (ts *TimeSeries) Observe(t, value float64) {
+	b := int64(math.Floor(t / ts.width))
+	r := ts.buckets[b]
+	if r == nil {
+		r = &Running{}
+		ts.buckets[b] = r
+	}
+	r.Observe(value)
+}
+
+// Point is one bucket of a time series.
+type Point struct {
+	Time  float64 // bucket start time
+	Mean  float64
+	Count int64
+}
+
+// Points returns the buckets in time order.
+func (ts *TimeSeries) Points() []Point {
+	keys := make([]int64, 0, len(ts.buckets))
+	for k := range ts.buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	pts := make([]Point, len(keys))
+	for i, k := range keys {
+		r := ts.buckets[k]
+		pts[i] = Point{Time: float64(k) * ts.width, Mean: r.Mean(), Count: r.Count()}
+	}
+	return pts
+}

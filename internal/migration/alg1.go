@@ -1,0 +1,187 @@
+// Algorithm 1 of the paper: Calculate-Amount-Of-Data-Movement.
+//
+// The algorithm iteratively balances the pair of devices with the
+// maximum and minimum modelled erase counts. Each iteration scans
+// ε = 0, 0.001, …, 1 and shifts Δ = X·ε of the max device's quantity
+// (write pages for HDF, utilization for CDF) to the min device, stopping
+// the scan at the first ε where the pair's erase counts cross. After the
+// configured number of iterations (paper: 500) the per-device cumulative
+// deltas are returned.
+
+package migration
+
+import (
+	"edm/internal/wear"
+)
+
+// Mode selects which wear factor Algorithm 1 redistributes.
+type Mode int
+
+const (
+	// ModeHDF varies write pages W_c and holds utilization fixed
+	// ("the impact of migration on disk utilization is ignored for
+	// HDF" — Algorithm 1's commentary).
+	ModeHDF Mode = iota
+	// ModeCDF varies utilization u and holds W_c fixed ("array W_c is
+	// considered to be kept unchanged for CDF").
+	ModeCDF
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeCDF {
+		return "CDF"
+	}
+	return "HDF"
+}
+
+// alg1Device is Algorithm 1's working state for one device.
+type alg1Device struct {
+	wc float64 // current write pages (mutated in HDF mode)
+	u  float64 // current utilization (mutated in CDF mode)
+	ur float64 // cached F(u) — refreshed when u changes
+}
+
+// Alg1Result is the outcome of the data-movement calculation.
+type Alg1Result struct {
+	// DeltaWc (HDF mode) is the signed change in write pages per
+	// device: negative entries are sources that must shed that many
+	// page writes, positive entries are destinations.
+	DeltaWc []float64
+	// DeltaU (CDF mode) is the signed change in utilization per device.
+	DeltaU []float64
+	// Iterations is the number of balancing steps actually executed
+	// (early exit when the spread collapses).
+	Iterations int
+}
+
+// CalculateAmountOfDataMovement runs Algorithm 1 over the devices listed
+// in eligible (indices into devs — the union of the trigger's sources
+// and destinations, always within one placement group). cfg supplies
+// Steps and EpsilonStep; bounds keep CDF's utilization shifts inside
+// [MinSourceUtilization, MaxDestUtilization].
+func CalculateAmountOfDataMovement(model wear.Model, devs []DeviceState, eligible []int, mode Mode, cfg Config) Alg1Result {
+	cfg.applyDefaults()
+	n := len(devs)
+	res := Alg1Result{
+		DeltaWc: make([]float64, n),
+		DeltaU:  make([]float64, n),
+	}
+	if len(eligible) < 2 {
+		return res
+	}
+
+	work := make([]alg1Device, n)
+	for _, i := range eligible {
+		work[i] = alg1Device{
+			wc: devs[i].WinWritePages,
+			u:  devs[i].Utilization,
+			ur: model.Ur(devs[i].Utilization),
+		}
+	}
+
+	ec := func(i int) float64 {
+		return model.EraseCountWithUr(work[i].wc, work[i].ur)
+	}
+
+	for step := 0; step < cfg.Steps; step++ {
+		// Lines 2–4: locate the extremal devices.
+		x, y := -1, -1
+		var maxEc, minEc float64
+		for _, i := range eligible {
+			e := ec(i)
+			if x < 0 || e > maxEc {
+				x, maxEc = i, e
+			}
+			if y < 0 || e < minEc {
+				y, minEc = i, e
+			}
+		}
+		if x == y || maxEc-minEc <= 1e-9 || maxEc <= 0 {
+			res.Iterations = step
+			return res
+		}
+
+		var shifted float64
+		switch mode {
+		case ModeHDF:
+			shifted = alg1ShiftWc(model, work, x, y, cfg)
+			if shifted > 0 {
+				res.DeltaWc[x] -= shifted
+				res.DeltaWc[y] += shifted
+			}
+		case ModeCDF:
+			shifted = alg1ShiftU(model, work, x, y, cfg)
+			if shifted > 0 {
+				res.DeltaU[x] -= shifted
+				res.DeltaU[y] += shifted
+			}
+		}
+		if shifted <= 0 {
+			// The extremal pair cannot be improved (e.g. CDF bounds);
+			// further iterations would repeat the same pair forever.
+			res.Iterations = step
+			return res
+		}
+	}
+	res.Iterations = cfg.Steps
+	return res
+}
+
+// alg1ShiftWc performs one HDF iteration body (lines 5–13): scan ε until
+// the erase counts of x (losing W_c) and y (gaining W_c) cross, then
+// commit the shift. Utilizations are held fixed, so the cached u_r
+// values never change.
+func alg1ShiftWc(model wear.Model, work []alg1Device, x, y int, cfg Config) float64 {
+	wx, wy := work[x].wc, work[y].wc
+	var dw float64
+	for eps := 0.0; eps < 1; eps += cfg.EpsilonStep {
+		dw = wx * eps
+		de := model.EraseCountWithUr(wx-dw, work[x].ur) - model.EraseCountWithUr(wy+dw, work[y].ur)
+		if de <= 0 {
+			break
+		}
+	}
+	if dw <= 0 {
+		return 0
+	}
+	work[x].wc = wx - dw
+	work[y].wc = wy + dw
+	return dw
+}
+
+// alg1ShiftU performs one CDF iteration body: identical structure, but
+// the shifted quantity is utilization. Shifts that would push the
+// source below the CDF cutoff or the destination above the fill cap are
+// truncated to the boundary.
+func alg1ShiftU(model wear.Model, work []alg1Device, x, y int, cfg Config) float64 {
+	ux, uy := work[x].u, work[y].u
+	// Headroom imposed by the §III.B.5 constraints.
+	maxShift := ux - cfg.MinSourceUtilization
+	if room := cfg.MaxDestUtilization - uy; room < maxShift {
+		maxShift = room
+	}
+	if maxShift <= 0 {
+		return 0
+	}
+	var du float64
+	for eps := 0.0; eps < 1; eps += cfg.EpsilonStep {
+		du = ux * eps
+		if du > maxShift {
+			du = maxShift
+			break
+		}
+		de := model.EraseCount(work[x].wc, ux-du) - model.EraseCount(work[y].wc, uy+du)
+		if de <= 0 {
+			break
+		}
+	}
+	if du <= 0 {
+		return 0
+	}
+	work[x].u = ux - du
+	work[x].ur = model.Ur(work[x].u)
+	work[y].u = uy + du
+	work[y].ur = model.Ur(work[y].u)
+	return du
+}

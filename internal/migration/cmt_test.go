@@ -1,0 +1,200 @@
+package migration
+
+import (
+	"testing"
+
+	"edm/internal/object"
+	"edm/internal/wear"
+)
+
+// cmtSnap builds a 4-device snapshot with per-device load factors and
+// heat-carrying objects.
+func cmtSnap(loads []float64, heats []float64, u []float64) *Snapshot {
+	s := snap(make([]float64, len(loads)), u)
+	for i := range loads {
+		s.Devices[i].LoadFactor = loads[i]
+		n := 10
+		for j := 0; j < n; j++ {
+			w := heats[i] * float64(n-j) * 2 / float64(n*(n+1))
+			s.Devices[i].Objects = append(s.Devices[i].Objects, ObjectInfo{
+				ID: object.ID(i*1000 + j), Home: i, Pages: 50, Bytes: 50 * 4096,
+				WriteTemp: w / 2, TotalTemp: w, WinWritePages: w / 2, CumAccesses: w * 2,
+			})
+		}
+	}
+	return s
+}
+
+func TestCMTMovesHeatFromLoadedToUnloaded(t *testing.T) {
+	s := cmtSnap(
+		[]float64{0.010, 0.001, 0.001, 0.001},
+		[]float64{8000, 100, 100, 100},
+		[]float64{0.6, 0.6, 0.6, 0.6})
+	c := NewCMT(DefaultConfig())
+	moves := c.Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("CMT planned nothing under load imbalance")
+	}
+	for _, m := range moves {
+		if m.Src != 0 {
+			t.Fatalf("unexpected source: %+v", m)
+		}
+	}
+	// CMT is NOT group-constrained (it predates EDM's grouping): it may
+	// move 0 → 1 even though they are in different groups.
+	crossGroup := false
+	for _, m := range moves {
+		if !s.Layout.SameGroup(m.Src, m.Dst) {
+			crossGroup = true
+		}
+	}
+	_ = crossGroup // cross-group is allowed, not required
+}
+
+func TestCMTRanksByStaleCumulativeCounters(t *testing.T) {
+	// The defining simplification: CMT keeps undecayed, read/write-blind
+	// access counters. An object with a big lifetime count but low
+	// current heat outranks a currently hotter object — the opposite of
+	// EDM's Def.-1 ordering.
+	s := snap([]float64{0, 0, 0, 0}, []float64{0.6, 0.6, 0.6, 0.6})
+	s.Devices[0].LoadFactor = 0.010
+	s.Devices[1].LoadFactor = 0.001
+	s.Devices[2].LoadFactor = 0.001
+	s.Devices[3].LoadFactor = 0.001
+	s.Devices[0].Objects = []ObjectInfo{
+		{ID: 1, Home: 0, Pages: 10, Bytes: 40960, TotalTemp: 50, CumAccesses: 1800}, // historically busy
+		{ID: 2, Home: 0, Pages: 10, Bytes: 40960, TotalTemp: 60, CumAccesses: 200},  // currently hotter
+		{ID: 3, Home: 0, Pages: 10, Bytes: 40960, TotalTemp: 400, CumAccesses: 10},  // hot but unranked
+	}
+	c := NewCMT(DefaultConfig())
+	moves := c.Plan(s)
+	if len(moves) == 0 || moves[0].Obj != 1 {
+		t.Fatalf("CMT must rank by cumulative counters: %v", moves)
+	}
+}
+
+func TestCMTQuietWhenBalanced(t *testing.T) {
+	s := cmtSnap(
+		[]float64{0.002, 0.002, 0.002, 0.002},
+		[]float64{1000, 1000, 1000, 1000},
+		[]float64{0.6, 0.6, 0.6, 0.6})
+	c := NewCMT(DefaultConfig())
+	if moves := c.Plan(s); len(moves) != 0 {
+		t.Fatalf("balanced cluster migrated: %v", moves)
+	}
+}
+
+func TestCMTStoragePassBalancesUtilization(t *testing.T) {
+	// Loads equal (no load pass), utilization badly skewed: the storage
+	// pass must still move data — CMT "dynamically balances both the
+	// load and storage usage".
+	s := cmtSnap(
+		[]float64{0.002, 0.002, 0.002, 0.002},
+		[]float64{1000, 1000, 1000, 1000},
+		[]float64{0.85, 0.4, 0.4, 0.4})
+	c := NewCMT(DefaultConfig())
+	c.Force = true
+	moves := c.Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("storage pass moved nothing")
+	}
+	for _, m := range moves {
+		if m.Src != 0 {
+			t.Fatalf("storage source: %+v", m)
+		}
+	}
+
+	// Disabling the pass (ablation hook) removes those moves.
+	c2 := NewCMT(DefaultConfig())
+	c2.Force = true
+	c2.SkipStoragePass = true
+	if moves := c2.Plan(s); len(moves) != 0 {
+		t.Fatalf("SkipStoragePass still moved: %v", moves)
+	}
+}
+
+func TestCMTDoesNotMoveSameObjectTwice(t *testing.T) {
+	// An object picked by the load pass must not be re-picked by the
+	// storage pass.
+	s := cmtSnap(
+		[]float64{0.010, 0.001, 0.001, 0.001},
+		[]float64{8000, 100, 100, 100},
+		[]float64{0.85, 0.4, 0.4, 0.4})
+	c := NewCMT(DefaultConfig())
+	c.Force = true
+	moves := c.Plan(s)
+	seen := map[object.ID]bool{}
+	for _, m := range moves {
+		if seen[m.Obj] {
+			t.Fatalf("object %d moved twice", m.Obj)
+		}
+		seen[m.Obj] = true
+	}
+}
+
+func TestCMTMovesMoreThanHDF(t *testing.T) {
+	// Fig. 8's headline: CMT moves the most objects because it balances
+	// both load and storage and cannot target just the write-hot few.
+	wc := []float64{80000, 10000, 10000, 10000}
+	u := []float64{0.8, 0.5, 0.5, 0.5}
+	s1 := snap(wc, u)
+	s2 := snap(wc, u)
+	for dev := 0; dev < 4; dev++ {
+		addObjects(s1, dev, 40, wc[dev])
+		addObjects(s2, dev, 40, wc[dev])
+		for i := range s1.Devices[dev].Objects {
+			s1.Devices[dev].Objects[i].TotalTemp = s1.Devices[dev].Objects[i].WriteTemp * 2
+			s2.Devices[dev].Objects[i].TotalTemp = s2.Devices[dev].Objects[i].WriteTemp * 2
+			s1.Devices[dev].Objects[i].CumAccesses = s1.Devices[dev].Objects[i].WriteTemp * 4
+			s2.Devices[dev].Objects[i].CumAccesses = s2.Devices[dev].Objects[i].WriteTemp * 4
+		}
+		s1.Devices[dev].LoadFactor = wc[dev] / 1e6
+		s2.Devices[dev].LoadFactor = wc[dev] / 1e6
+	}
+	h := NewHDF(DefaultConfig())
+	h.Force = true
+	hdfMoves := h.Plan(s1)
+	c := NewCMT(DefaultConfig())
+	c.Force = true
+	cmtMoves := c.Plan(s2)
+	if len(cmtMoves) <= len(hdfMoves) {
+		t.Fatalf("CMT should move more objects than HDF: cmt=%d hdf=%d", len(cmtMoves), len(hdfMoves))
+	}
+}
+
+func TestCMTRespectsDestinationCap(t *testing.T) {
+	s := cmtSnap(
+		[]float64{0.010, 0.001, 0.001, 0.001},
+		[]float64{8000, 100, 100, 100},
+		[]float64{0.6, 0.89, 0.89, 0.89})
+	c := NewCMT(DefaultConfig())
+	moves := c.Plan(s)
+	gained := map[int]int64{}
+	for _, m := range moves {
+		gained[m.Dst] += m.Pages
+	}
+	for dst, pages := range gained {
+		if float64(s.Devices[dst].UsedPages+pages) > 0.9*float64(s.Devices[dst].CapacityPages)+1 {
+			t.Fatalf("destination %d overfilled by CMT", dst)
+		}
+	}
+}
+
+func TestCMTNoDestinations(t *testing.T) {
+	// Everyone hot and full: no crash, no moves.
+	s := cmtSnap(
+		[]float64{0.01, 0.01, 0.01, 0.01},
+		[]float64{1000, 1000, 1000, 1000},
+		[]float64{0.95, 0.95, 0.95, 0.95})
+	c := NewCMT(DefaultConfig())
+	c.Force = true
+	_ = c.Plan(s) // must not panic
+}
+
+func TestCMTEmptySnapshot(t *testing.T) {
+	s := &Snapshot{Model: wear.NewModel(32, 0.28)}
+	c := NewCMT(DefaultConfig())
+	if moves := c.Plan(s); moves != nil {
+		t.Fatalf("empty snapshot: %v", moves)
+	}
+}

@@ -1,0 +1,306 @@
+// HDF and CDF: the two complementary EDM migration policies (§III.B.4,
+// §III.B.5). Both share the same skeleton — evaluate the wear trigger,
+// run Algorithm 1 per placement group, then select objects — and differ
+// in what Algorithm 1 redistributes and how objects are picked:
+//
+//   - HDF sheds the most write-frequently objects from hot devices
+//     until the planned ΔW_c is covered, minimising the data moved.
+//   - CDF sheds rarely-accessed (cold) objects, largest first, lowering
+//     the hot device's utilization instead; it never drains a source
+//     below 50% utilization, where utilization stops mattering (Fig. 3).
+package migration
+
+import (
+	"math"
+)
+
+// HDF is the Hot-Data First planner.
+type HDF struct {
+	Cfg Config
+	// Force skips the RSD > λ gate (the paper's experiments enforce a
+	// shuffle at the trace midpoint); source/destination selection is
+	// unchanged.
+	Force bool
+}
+
+// NewHDF returns an HDF planner with cfg (zero fields take defaults).
+func NewHDF(cfg Config) *HDF { cfg.applyDefaults(); return &HDF{Cfg: cfg} }
+
+// Name implements Planner.
+func (h *HDF) Name() string { return "EDM-HDF" }
+
+// BlocksAccess implements Planner: requests to objects being moved are
+// blocked during an HDF migration (§V.D).
+func (h *HDF) BlocksAccess() bool { return true }
+
+// Plan implements Planner.
+func (h *HDF) Plan(s *Snapshot) []Move {
+	return planEDM(s, ModeHDF, h.Cfg, h.Force)
+}
+
+// CDF is the Cold-Data First planner.
+type CDF struct {
+	Cfg   Config
+	Force bool
+}
+
+// NewCDF returns a CDF planner with cfg (zero fields take defaults).
+func NewCDF(cfg Config) *CDF { cfg.applyDefaults(); return &CDF{Cfg: cfg} }
+
+// Name implements Planner.
+func (c *CDF) Name() string { return "EDM-CDF" }
+
+// BlocksAccess implements Planner: cold objects are rarely accessed, so
+// CDF migration only competes for bandwidth and never blocks requests.
+func (c *CDF) BlocksAccess() bool { return false }
+
+// Plan implements Planner.
+func (c *CDF) Plan(s *Snapshot) []Move {
+	return planEDM(s, ModeCDF, c.Cfg, c.Force)
+}
+
+// planEDM is the shared EDM planning pipeline.
+func planEDM(s *Snapshot, mode Mode, cfg Config, force bool) []Move {
+	cfg.applyDefaults()
+	dec := EvaluateTrigger(s, cfg.Lambda)
+	if !dec.Fire && !force {
+		return nil
+	}
+	inSources := indexSet(dec.Sources)
+	inDests := indexSet(dec.Dests)
+
+	var moves []Move
+	for g := 0; g < s.Layout.M; g++ {
+		var eligible []int
+		for i, d := range s.Devices {
+			if d.Group != g {
+				continue
+			}
+			if inSources[i] || inDests[i] {
+				eligible = append(eligible, i)
+			}
+		}
+		if len(eligible) < 2 {
+			continue
+		}
+		res := CalculateAmountOfDataMovement(s.Model, s.Devices, eligible, mode, cfg)
+		switch mode {
+		case ModeHDF:
+			moves = append(moves, selectHDF(s, eligible, res.DeltaWc, cfg)...)
+		case ModeCDF:
+			moves = append(moves, selectCDF(s, eligible, res.DeltaU, cfg)...)
+		}
+	}
+	return moves
+}
+
+func indexSet(idx []int) map[int]bool {
+	m := make(map[int]bool, len(idx))
+	for _, i := range idx {
+		m[i] = true
+	}
+	return m
+}
+
+// destState tracks a destination's remaining budget and fill headroom
+// during selection.
+type destState struct {
+	dev       int
+	remaining float64 // budget in the mode's unit (write pages / pages)
+	usedPages int64
+	capPages  int64
+	maxUtil   float64
+}
+
+func (d *destState) fits(pages int64) bool {
+	return float64(d.usedPages+pages) <= d.maxUtil*float64(d.capPages)
+}
+
+// pickDest returns the destination with the largest remaining budget
+// that can absorb the object ("relocated to the destination devices in
+// proportion to ΔW_c"), or nil.
+func pickDest(dests []*destState, pages int64) *destState {
+	var best *destState
+	for _, d := range dests {
+		if d.remaining <= 0 || !d.fits(pages) {
+			continue
+		}
+		if best == nil || d.remaining > best.remaining ||
+			(d.remaining == best.remaining && d.dev < best.dev) {
+			best = d
+		}
+	}
+	return best
+}
+
+// budgetOvershoot is the tolerance for placing an object whose load
+// contribution exceeds a destination's remaining budget. Without it a
+// single very hot object can blow far past the Alg.-1 plan and turn an
+// underloaded destination into the cluster's new hotspot.
+const budgetOvershoot = 1.25
+
+// pickDestWithin is pickDest restricted to destinations whose remaining
+// budget can absorb the given contribution (up to the overshoot
+// tolerance).
+func pickDestWithin(dests []*destState, pages int64, contribution float64) *destState {
+	var best *destState
+	for _, d := range dests {
+		if d.remaining <= 0 || !d.fits(pages) {
+			continue
+		}
+		if contribution > d.remaining*budgetOvershoot {
+			continue
+		}
+		if best == nil || d.remaining > best.remaining ||
+			(d.remaining == best.remaining && d.dev < best.dev) {
+			best = d
+		}
+	}
+	return best
+}
+
+func buildDests(s *Snapshot, eligible []int, budget []float64, toPages func(i int, b float64) float64, cfg Config) []*destState {
+	var dests []*destState
+	for _, i := range eligible {
+		if budget[i] <= 0 {
+			continue
+		}
+		d := s.Devices[i]
+		dests = append(dests, &destState{
+			dev:       i,
+			remaining: toPages(i, budget[i]),
+			usedPages: d.UsedPages,
+			capPages:  d.CapacityPages,
+			maxUtil:   cfg.MaxDestUtilization,
+		})
+	}
+	return dests
+}
+
+// selectHDF picks the hottest-written objects from each source until the
+// planned write-page reduction is covered (§III.B.5). An object's
+// contribution to W_c is its write-page count in the current balancing
+// window; objects that received no writes cannot reduce W_c and are
+// never moved by HDF.
+func selectHDF(s *Snapshot, eligible []int, deltaWc []float64, cfg Config) []Move {
+	dests := buildDests(s, eligible, deltaWc,
+		func(_ int, b float64) float64 { return b }, cfg)
+	if len(dests) == 0 {
+		return nil
+	}
+
+	var moves []Move
+	for _, i := range eligible {
+		if deltaWc[i] >= 0 {
+			continue
+		}
+		need := -deltaWc[i]
+		// Moving an object whose contribution is a sliver of the plan
+		// is all migration cost and no balance: stop descending into
+		// the lukewarm tail once contributions fall below 2% of the
+		// plan, and bound the per-source move count outright.
+		floor := need * 0.02
+		movesLeft := 24
+		cands := append([]ObjectInfo(nil), s.Devices[i].Objects...)
+		sortObjects(cands, cfg.PreferRemapped,
+			func(o ObjectInfo) float64 { return o.WriteTemp }, true)
+		for _, o := range cands {
+			if need <= 0 || movesLeft == 0 {
+				break
+			}
+			if o.WinWritePages < floor || o.WinWritePages <= 0 {
+				// Too little W_c to be worth a move.
+				continue
+			}
+			// An object hotter than every remaining budget is skipped —
+			// placing it would recreate the imbalance on the
+			// destination; a cooler candidate covers the need instead.
+			d := pickDestWithin(dests, o.Pages, o.WinWritePages)
+			if d == nil {
+				continue
+			}
+			moves = append(moves, Move{Obj: o.ID, Src: s.Devices[i].OSD, Dst: s.Devices[d.dev].OSD, Pages: o.Pages, Bytes: o.Bytes})
+			need -= o.WinWritePages
+			movesLeft--
+			d.remaining -= o.WinWritePages
+			d.usedPages += o.Pages
+		}
+	}
+	return moves
+}
+
+// selectCDF extracts each source's cold objects (total temperature below
+// ColdFraction of the device mean), sorts them largest-first, and sheds
+// pages until the planned utilization reduction is reached. Sources
+// below the 50% utilization cutoff are skipped entirely.
+func selectCDF(s *Snapshot, eligible []int, deltaU []float64, cfg Config) []Move {
+	dests := buildDests(s, eligible, deltaU,
+		func(i int, b float64) float64 { return b * float64(s.Devices[i].CapacityPages) }, cfg)
+	if len(dests) == 0 {
+		return nil
+	}
+
+	var moves []Move
+	for _, i := range eligible {
+		if deltaU[i] >= 0 {
+			continue
+		}
+		dev := s.Devices[i]
+		if dev.Utilization < cfg.MinSourceUtilization {
+			continue
+		}
+		needPages := -deltaU[i] * float64(dev.CapacityPages)
+		// Throttle the round's bulk volume, and don't shed below the
+		// cutoff even if Algorithm 1 overshot.
+		if cap := cfg.MaxShedPerRound * float64(dev.CapacityPages); needPages > cap {
+			needPages = cap
+		}
+		floorPages := cfg.MinSourceUtilization * float64(dev.CapacityPages)
+		if max := float64(dev.UsedPages) - floorPages; needPages > max {
+			needPages = max
+		}
+		if needPages <= 0 {
+			continue
+		}
+
+		cold := coldSet(dev.Objects, cfg.ColdFraction)
+		sortObjects(cold, false, func(o ObjectInfo) float64 { return float64(o.Bytes) }, true)
+		for _, o := range cold {
+			if needPages <= 0 {
+				break
+			}
+			d := pickDest(dests, o.Pages)
+			if d == nil {
+				break
+			}
+			moves = append(moves, Move{Obj: o.ID, Src: dev.OSD, Dst: s.Devices[d.dev].OSD, Pages: o.Pages, Bytes: o.Bytes})
+			needPages -= float64(o.Pages)
+			d.remaining -= float64(o.Pages)
+			d.usedPages += o.Pages
+		}
+	}
+	return moves
+}
+
+// coldSet returns the objects whose total temperature falls below
+// frac × the device's mean object temperature.
+func coldSet(objs []ObjectInfo, frac float64) []ObjectInfo {
+	if len(objs) == 0 {
+		return nil
+	}
+	var sum float64
+	for _, o := range objs {
+		sum += o.TotalTemp
+	}
+	threshold := frac * sum / float64(len(objs))
+	if threshold <= 0 {
+		threshold = math.SmallestNonzeroFloat64
+	}
+	var cold []ObjectInfo
+	for _, o := range objs {
+		if o.TotalTemp < threshold {
+			cold = append(cold, o)
+		}
+	}
+	return cold
+}

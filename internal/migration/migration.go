@@ -1,0 +1,231 @@
+// Package migration implements the EDM data-migration scheme (§III.B):
+// the wear-imbalance trigger condition, Algorithm 1 (the iterative
+// calculation of how much write traffic or utilization to shift between
+// devices), the HDF (Hot-Data First) and CDF (Cold-Data First) object
+// selection policies, and the CMT baseline (a conventional migration
+// technique modelled on Sorrento, §V).
+//
+// The package is pure planning: it consumes an immutable Snapshot of the
+// cluster and produces a list of Moves. Executing moves (queueing the
+// reads/writes, locking objects, updating the remapping table) is the
+// cluster's job, keeping this package deterministic and unit-testable.
+package migration
+
+import (
+	"math"
+	"sort"
+
+	"edm/internal/object"
+	"edm/internal/placement"
+	"edm/internal/sim"
+	"edm/internal/wear"
+)
+
+// ObjectInfo is the per-object state a planner can see.
+type ObjectInfo struct {
+	ID       object.ID
+	Home     int   // hash-placement home OSD
+	Pages    int64 // logical pages occupied
+	Bytes    int64 // object size in bytes
+	Remapped bool  // already has a remapping-table entry
+
+	WriteTemp     float64 // Def. 1 temperature over writes only (HDF key)
+	TotalTemp     float64 // Def. 1 temperature over reads+writes (CDF key)
+	WinWritePages float64 // write pages in the current balancing window
+
+	// CumAccesses counts all pages ever read or written, with no decay.
+	// EDM never uses it; CMT ranks by it, because conventional schemes
+	// keep plain counters and lack Def. 1's recency weighting — one of
+	// the reasons CMT moves more objects than HDF or CDF (Fig. 8).
+	CumAccesses float64
+}
+
+// DeviceState is the per-OSD state a planner can see.
+type DeviceState struct {
+	OSD   int
+	Group int
+
+	WinWritePages float64 // W_c: host page writes in the current window
+	Utilization   float64 // u: live pages / physical pages
+	CapacityPages int64   // physical pages
+	UsedPages     int64   // live pages
+	LoadFactor    float64 // EWMA of I/O latency in seconds (CMT's metric)
+
+	Objects []ObjectInfo
+}
+
+// Snapshot is the cluster state at planning time.
+type Snapshot struct {
+	Now     sim.Time
+	Model   wear.Model
+	Layout  placement.Layout
+	Devices []DeviceState
+}
+
+// Move is one migration action: the (oid, source_id, dest_id) triple of
+// §III.B.5 plus the object's footprint for cost accounting.
+type Move struct {
+	Obj   object.ID
+	Src   int
+	Dst   int
+	Pages int64
+	Bytes int64
+}
+
+// Planner decides what to move. Implementations: HDF, CDF, CMT.
+type Planner interface {
+	// Name returns the policy name as used in the paper's figures.
+	Name() string
+	// Plan returns the migration actions for the given snapshot. An
+	// empty plan means the cluster is balanced enough already.
+	Plan(s *Snapshot) []Move
+	// BlocksAccess reports whether in-flight objects must block normal
+	// requests during migration (true for HDF per §V.D).
+	BlocksAccess() bool
+}
+
+// Config carries the tunables shared by the EDM planners.
+type Config struct {
+	// Lambda is the relative-standard-deviation trigger threshold λ
+	// (§III.B.2). Used both to decide when to migrate and to pick the
+	// source set.
+	Lambda float64
+	// Steps is Algorithm 1's iteration count (paper: 500).
+	Steps int
+	// EpsilonStep is Algorithm 1's ε granularity (paper: 0.001).
+	EpsilonStep float64
+	// MaxDestUtilization caps destination fill during migration
+	// (§III.B.5's "free space … does not exceed a predefined
+	// threshold"). Default 0.9.
+	MaxDestUtilization float64
+	// MinSourceUtilization is CDF's cutoff: sources below it are not
+	// cooled by shedding cold data (paper: 0.5, from Fig. 3).
+	MinSourceUtilization float64
+	// ColdFraction defines CDF's cold set: objects whose total
+	// temperature is below ColdFraction times the device's mean object
+	// temperature. Default 0.5.
+	ColdFraction float64
+	// MaxShedPerRound caps the utilization (fraction of capacity) a CDF
+	// source sheds in one round. Cold-data migration moves bulk bytes;
+	// an uncapped plan can flood destinations with migration writes for
+	// longer than the imbalance costs. Default 0.08.
+	MaxShedPerRound float64
+	// PreferRemapped selects already-remapped objects first so the
+	// remapping table does not grow (§III.C). Default true; exposed for
+	// the ablation benchmarks.
+	PreferRemapped bool
+}
+
+// DefaultConfig returns the paper's parameterisation.
+func DefaultConfig() Config {
+	return Config{
+		Lambda:               0.1,
+		Steps:                500,
+		EpsilonStep:          0.001,
+		MaxDestUtilization:   0.9,
+		MinSourceUtilization: 0.5,
+		ColdFraction:         0.5,
+		MaxShedPerRound:      0.08,
+		PreferRemapped:       true,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.Lambda == 0 {
+		c.Lambda = 0.1
+	}
+	if c.Steps == 0 {
+		c.Steps = 500
+	}
+	if c.EpsilonStep == 0 {
+		c.EpsilonStep = 0.001
+	}
+	if c.MaxDestUtilization == 0 {
+		c.MaxDestUtilization = 0.9
+	}
+	if c.MinSourceUtilization == 0 {
+		c.MinSourceUtilization = 0.5
+	}
+	if c.ColdFraction == 0 {
+		c.ColdFraction = 0.5
+	}
+	if c.MaxShedPerRound == 0 {
+		c.MaxShedPerRound = 0.08
+	}
+}
+
+// eraseCounts evaluates Eq.(4) for every device in the snapshot.
+func eraseCounts(model wear.Model, devs []DeviceState) []float64 {
+	out := make([]float64, len(devs))
+	for i, d := range devs {
+		out[i] = model.EraseCount(d.WinWritePages, d.Utilization)
+	}
+	return out
+}
+
+// TriggerDecision is the outcome of evaluating the trigger condition.
+type TriggerDecision struct {
+	Fire    bool
+	RSD     float64
+	MeanEc  float64
+	Erases  []float64 // modelled E_c per device (snapshot order)
+	Sources []int     // device indices with E_c − mean > mean·λ
+	Dests   []int     // device indices with E_c below the mean
+}
+
+// EvaluateTrigger computes the §III.B.2 trigger: migration is desirable
+// when RSD(E_c) > λ. Sources are devices whose modelled erase count
+// exceeds the mean by more than mean·λ; every device below the mean is a
+// potential destination.
+func EvaluateTrigger(s *Snapshot, lambda float64) TriggerDecision {
+	ecs := eraseCounts(s.Model, s.Devices)
+	var sum float64
+	for _, e := range ecs {
+		sum += e
+	}
+	n := float64(len(ecs))
+	mean := 0.0
+	if n > 0 {
+		mean = sum / n
+	}
+	var varSum float64
+	for _, e := range ecs {
+		d := e - mean
+		varSum += d * d
+	}
+	rsd := 0.0
+	if mean > 0 {
+		rsd = math.Sqrt(varSum/n) / mean
+	}
+	dec := TriggerDecision{RSD: rsd, MeanEc: mean, Erases: ecs}
+	dec.Fire = rsd > lambda && mean > 0
+	for i, e := range ecs {
+		switch {
+		case e-mean > mean*lambda:
+			dec.Sources = append(dec.Sources, i)
+		case e < mean:
+			dec.Dests = append(dec.Dests, i)
+		}
+	}
+	return dec
+}
+
+// sortObjects orders candidates for selection: optionally
+// remapped-first, then by the key (descending for hot-first, ascending
+// for cold-first), with object id as the final deterministic tiebreak.
+func sortObjects(objs []ObjectInfo, preferRemapped bool, key func(ObjectInfo) float64, descending bool) {
+	sort.Slice(objs, func(i, j int) bool {
+		a, b := objs[i], objs[j]
+		if preferRemapped && a.Remapped != b.Remapped {
+			return a.Remapped
+		}
+		ka, kb := key(a), key(b)
+		if ka != kb {
+			if descending {
+				return ka > kb
+			}
+			return ka < kb
+		}
+		return a.ID < b.ID
+	})
+}

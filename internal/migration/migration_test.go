@@ -1,0 +1,416 @@
+package migration
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/object"
+	"edm/internal/placement"
+	"edm/internal/wear"
+)
+
+// snap builds a 2-group, 4-device snapshot where device indices 0..3
+// have the given write pages and utilizations. Layout: N=4, M=2, K=2 —
+// groups {0,2} and {1,3}.
+func snap(wc []float64, u []float64) *Snapshot {
+	s := &Snapshot{
+		Model:  wear.NewModel(32, wear.DefaultSigma),
+		Layout: placement.Layout{N: 4, M: 2, K: 2},
+	}
+	for i := range wc {
+		s.Devices = append(s.Devices, DeviceState{
+			OSD:           i,
+			Group:         i % 2,
+			WinWritePages: wc[i],
+			Utilization:   u[i],
+			CapacityPages: 100000,
+			UsedPages:     int64(u[i] * 100000),
+		})
+	}
+	return s
+}
+
+// addObjects gives device i objects with descending write temperature.
+// Each object's window writes sum to the device's write pages.
+func addObjects(s *Snapshot, dev int, n int, totalWrites float64) {
+	d := &s.Devices[dev]
+	weight := 0.0
+	for i := 0; i < n; i++ {
+		weight += float64(n - i)
+	}
+	for i := 0; i < n; i++ {
+		w := totalWrites * float64(n-i) / weight
+		d.Objects = append(d.Objects, ObjectInfo{
+			ID:            object.ID(dev*1000 + i),
+			Home:          dev,
+			Pages:         100,
+			Bytes:         100 * 4096,
+			WriteTemp:     w,
+			TotalTemp:     w * 2,
+			WinWritePages: w,
+		})
+	}
+}
+
+func TestTriggerFiresOnImbalance(t *testing.T) {
+	s := snap([]float64{100000, 1000, 1000, 1000}, []float64{0.6, 0.6, 0.6, 0.6})
+	dec := EvaluateTrigger(s, 0.1)
+	if !dec.Fire {
+		t.Fatalf("severe imbalance must fire: %+v", dec)
+	}
+	if len(dec.Sources) != 1 || dec.Sources[0] != 0 {
+		t.Fatalf("sources: %v", dec.Sources)
+	}
+	if len(dec.Dests) != 3 {
+		t.Fatalf("dests: %v", dec.Dests)
+	}
+}
+
+func TestTriggerQuietWhenBalanced(t *testing.T) {
+	s := snap([]float64{1000, 1000, 1000, 1000}, []float64{0.6, 0.6, 0.6, 0.6})
+	dec := EvaluateTrigger(s, 0.1)
+	if dec.Fire {
+		t.Fatalf("balanced cluster fired: %+v", dec)
+	}
+	if dec.RSD != 0 {
+		t.Fatalf("RSD = %v", dec.RSD)
+	}
+}
+
+func TestTriggerUtilizationAloneCausesImbalance(t *testing.T) {
+	// Same write load, very different utilization ⇒ different erase
+	// counts per Eq.(4) ⇒ the trigger must see the imbalance.
+	s := snap([]float64{10000, 10000, 10000, 10000}, []float64{0.9, 0.45, 0.45, 0.45})
+	dec := EvaluateTrigger(s, 0.1)
+	if !dec.Fire {
+		t.Fatalf("utilization imbalance must fire: %+v", dec)
+	}
+	if len(dec.Sources) != 1 || dec.Sources[0] != 0 {
+		t.Fatalf("sources: %v", dec.Sources)
+	}
+}
+
+func TestTriggerEmptyCluster(t *testing.T) {
+	s := &Snapshot{Model: wear.NewModel(32, 0.28), Layout: placement.Layout{N: 4, M: 2, K: 2}}
+	dec := EvaluateTrigger(s, 0.1)
+	if dec.Fire {
+		t.Fatal("empty snapshot fired")
+	}
+}
+
+func TestAlg1HDFBalancesEraseCounts(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	s := snap([]float64{80000, 0, 20000, 0}, []float64{0.6, 0.6, 0.6, 0.6})
+	eligible := []int{0, 2} // group 0
+	res := CalculateAmountOfDataMovement(model, s.Devices, eligible, ModeHDF, DefaultConfig())
+
+	// Conservation: write pages only move, never appear or vanish.
+	if sum := res.DeltaWc[0] + res.DeltaWc[2]; math.Abs(sum) > 1e-6 {
+		t.Fatalf("ΔWc not conserved: %v", res.DeltaWc)
+	}
+	// Direction: device 0 sheds, device 2 gains.
+	if res.DeltaWc[0] >= 0 || res.DeltaWc[2] <= 0 {
+		t.Fatalf("ΔWc direction wrong: %v", res.DeltaWc)
+	}
+	// Effect: post-plan erase counts are closer than before.
+	before := math.Abs(model.EraseCount(80000, 0.6) - model.EraseCount(20000, 0.6))
+	after := math.Abs(model.EraseCount(80000+res.DeltaWc[0], 0.6) - model.EraseCount(20000+res.DeltaWc[2], 0.6))
+	if after > before/10 {
+		t.Fatalf("plan barely balanced: before %v after %v (ΔWc %v)", before, after, res.DeltaWc)
+	}
+	// Equal utilizations ⇒ balanced write pages ≈ equal split.
+	if math.Abs((80000+res.DeltaWc[0])-(20000+res.DeltaWc[2])) > 2000 {
+		t.Fatalf("split not near-equal: %v", res.DeltaWc)
+	}
+}
+
+func TestAlg1HDFUnevenUtilization(t *testing.T) {
+	// The high-utilization device wears faster per write, so at balance
+	// it must carry FEWER write pages than the low-utilization one.
+	model := wear.NewModel(32, wear.DefaultSigma)
+	s := snap([]float64{50000, 0, 50000, 0}, []float64{0.85, 0.6, 0.55, 0.6})
+	res := CalculateAmountOfDataMovement(model, s.Devices, []int{0, 2}, ModeHDF, DefaultConfig())
+	if res.DeltaWc[0] >= 0 {
+		t.Fatalf("hot-utilization device should shed: %v", res.DeltaWc)
+	}
+	w0 := 50000 + res.DeltaWc[0]
+	w2 := 50000 + res.DeltaWc[2]
+	if w0 >= w2 {
+		t.Fatalf("high-utilization device should end with fewer writes: %v vs %v", w0, w2)
+	}
+}
+
+func TestAlg1CDFShiftsUtilization(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	s := snap([]float64{30000, 0, 30000, 0}, []float64{0.85, 0.6, 0.55, 0.6})
+	res := CalculateAmountOfDataMovement(model, s.Devices, []int{0, 2}, ModeCDF, DefaultConfig())
+	if sum := res.DeltaU[0] + res.DeltaU[2]; math.Abs(sum) > 1e-9 {
+		t.Fatalf("Δu not conserved: %v", res.DeltaU)
+	}
+	if res.DeltaU[0] >= 0 || res.DeltaU[2] <= 0 {
+		t.Fatalf("Δu direction wrong: %v", res.DeltaU)
+	}
+	// Bounds: source never below the CDF cutoff, dest never above cap.
+	cfg := DefaultConfig()
+	if 0.85+res.DeltaU[0] < cfg.MinSourceUtilization-1e-9 {
+		t.Fatalf("source pushed below cutoff: %v", res.DeltaU)
+	}
+	if 0.55+res.DeltaU[2] > cfg.MaxDestUtilization+1e-9 {
+		t.Fatalf("dest pushed above cap: %v", res.DeltaU)
+	}
+}
+
+func TestAlg1EqualDevicesNoop(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	s := snap([]float64{5000, 0, 5000, 0}, []float64{0.6, 0.6, 0.6, 0.6})
+	res := CalculateAmountOfDataMovement(model, s.Devices, []int{0, 2}, ModeHDF, DefaultConfig())
+	if res.DeltaWc[0] != 0 || res.DeltaWc[2] != 0 {
+		t.Fatalf("balanced pair moved: %v", res.DeltaWc)
+	}
+	if res.Iterations != 0 {
+		t.Fatalf("iterations = %d", res.Iterations)
+	}
+}
+
+func TestAlg1FewerThanTwoDevices(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	s := snap([]float64{5000, 0, 5000, 0}, []float64{0.6, 0.6, 0.6, 0.6})
+	res := CalculateAmountOfDataMovement(model, s.Devices, []int{0}, ModeHDF, DefaultConfig())
+	for _, d := range res.DeltaWc {
+		if d != 0 {
+			t.Fatalf("single device plan moved: %v", res.DeltaWc)
+		}
+	}
+}
+
+func TestAlg1TerminatesWithinSteps(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	s := snap([]float64{90000, 40000, 10000, 60000}, []float64{0.7, 0.65, 0.5, 0.6})
+	cfg := DefaultConfig()
+	res := CalculateAmountOfDataMovement(model, s.Devices, []int{0, 1, 2, 3}, ModeHDF, cfg)
+	if res.Iterations > cfg.Steps {
+		t.Fatalf("iterations %d exceed cap %d", res.Iterations, cfg.Steps)
+	}
+}
+
+func TestHDFSelectionCoversPlan(t *testing.T) {
+	s := snap([]float64{80000, 0, 0, 0}, []float64{0.65, 0.6, 0.55, 0.6})
+	addObjects(s, 0, 50, 80000)
+	h := NewHDF(DefaultConfig())
+	h.Force = true
+	moves := h.Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("no moves planned")
+	}
+	// All moves intra-group (0 → 2 only, the other group-0 member).
+	for _, m := range moves {
+		if m.Src != 0 || m.Dst != 2 {
+			t.Fatalf("move outside group: %+v", m)
+		}
+	}
+	// Selection walks hottest-first (objects that overflow every
+	// remaining destination budget may be skipped, so the moved set is
+	// a near-prefix, strictly descending in id = descending heat here).
+	for i := 1; i < len(moves); i++ {
+		if moves[i].Obj <= moves[i-1].Obj {
+			t.Fatalf("selection not hottest-first: %v", moves)
+		}
+	}
+	// The plan sheds a meaningful share of the hot device's writes.
+	var shed float64
+	temp := map[object.ID]float64{}
+	for _, o := range s.Devices[0].Objects {
+		temp[o.ID] = o.WinWritePages
+	}
+	for _, m := range moves {
+		shed += temp[m.Obj]
+	}
+	if shed < 20000 { // hot device held 80000 window writes
+		t.Fatalf("plan shed only %v write pages", shed)
+	}
+}
+
+func TestHDFSkipsZeroWriteObjects(t *testing.T) {
+	s := snap([]float64{80000, 0, 0, 0}, []float64{0.65, 0.6, 0.55, 0.6})
+	d := &s.Devices[0]
+	for i := 0; i < 10; i++ {
+		d.Objects = append(d.Objects, ObjectInfo{
+			ID: object.ID(i), Home: 0, Pages: 10, Bytes: 40960,
+			WriteTemp: 0, TotalTemp: 5, WinWritePages: 0,
+		})
+	}
+	h := NewHDF(DefaultConfig())
+	h.Force = true
+	if moves := h.Plan(s); len(moves) != 0 {
+		t.Fatalf("HDF moved objects with zero window writes: %v", moves)
+	}
+}
+
+func TestHDFPrefersRemapped(t *testing.T) {
+	s := snap([]float64{80000, 0, 0, 0}, []float64{0.65, 0.6, 0.55, 0.6})
+	d := &s.Devices[0]
+	// Two candidates whose contributions fit the plan's budgets: the
+	// remapped one must be picked first despite being colder.
+	d.Objects = append(d.Objects,
+		ObjectInfo{ID: 1, Home: 0, Pages: 10, Bytes: 40960, WriteTemp: 100, WinWritePages: 20000},
+		ObjectInfo{ID: 2, Home: 0, Pages: 10, Bytes: 40960, WriteTemp: 50, WinWritePages: 20000, Remapped: true},
+	)
+	h := NewHDF(DefaultConfig())
+	h.Force = true
+	moves := h.Plan(s)
+	if len(moves) == 0 || moves[0].Obj != 2 {
+		t.Fatalf("remapped object should be selected first: %v", moves)
+	}
+
+	// With the preference disabled, the hotter object goes first.
+	cfg := DefaultConfig()
+	cfg.PreferRemapped = false
+	h2 := NewHDF(cfg)
+	h2.Force = true
+	moves = h2.Plan(s)
+	if len(moves) == 0 || moves[0].Obj != 1 {
+		t.Fatalf("hottest object should be selected first without preference: %v", moves)
+	}
+}
+
+func TestHDFRespectsDestinationFillCap(t *testing.T) {
+	s := snap([]float64{80000, 0, 0, 0}, []float64{0.65, 0.6, 0.89, 0.6})
+	addObjects(s, 0, 20, 80000)
+	// Destination 2 sits just under the 0.9 cap: at most one 100-page
+	// object fits ((0.9-0.89)*100000 = 1000 pages).
+	h := NewHDF(DefaultConfig())
+	h.Force = true
+	moves := h.Plan(s)
+	var pages int64
+	for _, m := range moves {
+		pages += m.Pages
+	}
+	if float64(89000+pages) > 0.9*100000+1 {
+		t.Fatalf("destination overfilled: %d pages moved", pages)
+	}
+}
+
+func TestCDFMovesColdLargestFirst(t *testing.T) {
+	s := snap([]float64{30000, 0, 0, 0}, []float64{0.8, 0.6, 0.4, 0.6})
+	d := &s.Devices[0]
+	// Hot objects (high total temp) and cold objects of varying size.
+	for i := 0; i < 5; i++ {
+		d.Objects = append(d.Objects, ObjectInfo{
+			ID: object.ID(i), Home: 0, Pages: 50, Bytes: 50 * 4096,
+			WriteTemp: 1000, TotalTemp: 1000, WinWritePages: 6000,
+		})
+	}
+	sizes := []int64{10, 500, 100, 300, 50}
+	for i, pg := range sizes {
+		d.Objects = append(d.Objects, ObjectInfo{
+			ID: object.ID(100 + i), Home: 0, Pages: pg, Bytes: pg * 4096,
+			WriteTemp: 0, TotalTemp: 0.01, WinWritePages: 0,
+		})
+	}
+	c := NewCDF(DefaultConfig())
+	c.Force = true
+	moves := c.Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("CDF planned nothing")
+	}
+	for _, m := range moves {
+		if m.Obj < 100 {
+			t.Fatalf("CDF moved a hot object: %+v", m)
+		}
+	}
+	// Largest cold object must be first.
+	if moves[0].Obj != 101 {
+		t.Fatalf("largest cold object should go first: %v", moves)
+	}
+}
+
+func TestCDFSkipsLowUtilizationSources(t *testing.T) {
+	// Source utilization below 50%: migration of cold data is futile
+	// (Fig. 3) and must be skipped entirely.
+	s := snap([]float64{90000, 0, 1000, 0}, []float64{0.45, 0.6, 0.42, 0.6})
+	d := &s.Devices[0]
+	for i := 0; i < 10; i++ {
+		d.Objects = append(d.Objects, ObjectInfo{
+			ID: object.ID(i), Home: 0, Pages: 100, Bytes: 409600,
+			WriteTemp: 0, TotalTemp: 0.01,
+		})
+	}
+	c := NewCDF(DefaultConfig())
+	c.Force = true
+	if moves := c.Plan(s); len(moves) != 0 {
+		t.Fatalf("CDF moved from a <50%% utilization source: %v", moves)
+	}
+}
+
+func TestCDFNeverShedsBelowCutoff(t *testing.T) {
+	s := snap([]float64{50000, 0, 1000, 0}, []float64{0.55, 0.6, 0.35, 0.6})
+	d := &s.Devices[0]
+	for i := 0; i < 40; i++ {
+		d.Objects = append(d.Objects, ObjectInfo{
+			ID: object.ID(i), Home: 0, Pages: 1000, Bytes: 1000 * 4096,
+			WriteTemp: 0, TotalTemp: 0.01,
+		})
+	}
+	c := NewCDF(DefaultConfig())
+	c.Force = true
+	moves := c.Plan(s)
+	var shed int64
+	for _, m := range moves {
+		if m.Src == 0 {
+			shed += m.Pages
+		}
+	}
+	// Used = 55000 pages; the floor is 50000 ⇒ at most ~5000 pages, one
+	// object of slack allowed for rounding.
+	if shed > 6000 {
+		t.Fatalf("CDF shed %d pages, below the 50%% cutoff", shed)
+	}
+}
+
+func TestEDMPlansAreIntraGroup(t *testing.T) {
+	s := snap([]float64{80000, 70000, 0, 0}, []float64{0.7, 0.7, 0.5, 0.5})
+	addObjects(s, 0, 30, 80000)
+	addObjects(s, 1, 30, 70000)
+	layout := s.Layout
+	for _, planner := range []Planner{
+		func() Planner { h := NewHDF(DefaultConfig()); h.Force = true; return h }(),
+		func() Planner { c := NewCDF(DefaultConfig()); c.Force = true; return c }(),
+	} {
+		for _, m := range planner.Plan(s) {
+			if !layout.SameGroup(m.Src, m.Dst) {
+				t.Fatalf("%s produced cross-group move: %+v", planner.Name(), m)
+			}
+			if m.Src == m.Dst {
+				t.Fatalf("%s produced self-move: %+v", planner.Name(), m)
+			}
+		}
+	}
+}
+
+func TestEDMQuietWithoutForceWhenBalanced(t *testing.T) {
+	s := snap([]float64{5000, 5000, 5000, 5000}, []float64{0.6, 0.6, 0.6, 0.6})
+	addObjects(s, 0, 10, 5000)
+	h := NewHDF(DefaultConfig())
+	if moves := h.Plan(s); len(moves) != 0 {
+		t.Fatalf("balanced cluster migrated: %v", moves)
+	}
+}
+
+func TestPlannerMetadata(t *testing.T) {
+	h, c, m := NewHDF(DefaultConfig()), NewCDF(DefaultConfig()), NewCMT(DefaultConfig())
+	if h.Name() != "EDM-HDF" || c.Name() != "EDM-CDF" || m.Name() != "CMT" {
+		t.Fatalf("names: %s %s %s", h.Name(), c.Name(), m.Name())
+	}
+	if !h.BlocksAccess() {
+		t.Fatal("HDF must block access during migration (§V.D)")
+	}
+	if c.BlocksAccess() || m.BlocksAccess() {
+		t.Fatal("CDF and CMT must not block access")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeHDF.String() != "HDF" || ModeCDF.String() != "CDF" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,240 @@
+package migration
+
+import (
+	"math/rand"
+	"testing"
+
+	"edm/internal/object"
+	"edm/internal/placement"
+	"edm/internal/wear"
+)
+
+// randomSnapshot builds an arbitrary-but-valid cluster snapshot.
+func randomSnapshot(rnd *rand.Rand) *Snapshot {
+	m := rnd.Intn(3) + 2        // 2..4 groups
+	perGroup := rnd.Intn(3) + 2 // 2..4 devices each
+	n := m * perGroup
+	k := rnd.Intn(m-1) + 2 // 2..m objects per file
+	s := &Snapshot{
+		Model:  wear.NewModel(32, wear.DefaultSigma),
+		Layout: placement.Layout{N: n, M: m, K: k},
+	}
+	nextID := object.ID(0)
+	for d := 0; d < n; d++ {
+		dev := DeviceState{
+			OSD:           d,
+			Group:         d % m,
+			WinWritePages: float64(rnd.Intn(100000)),
+			Utilization:   0.3 + rnd.Float64()*0.55,
+			CapacityPages: 100000,
+			LoadFactor:    rnd.Float64() * 0.01,
+		}
+		dev.UsedPages = int64(dev.Utilization * float64(dev.CapacityPages))
+		objects := rnd.Intn(30) + 1
+		for o := 0; o < objects; o++ {
+			w := rnd.Float64() * dev.WinWritePages / 4
+			dev.Objects = append(dev.Objects, ObjectInfo{
+				ID:            nextID,
+				Home:          d,
+				Pages:         int64(rnd.Intn(500) + 1),
+				Bytes:         int64(rnd.Intn(500)+1) * 4096,
+				Remapped:      rnd.Intn(5) == 0,
+				WriteTemp:     w,
+				TotalTemp:     w * (1 + rnd.Float64()),
+				WinWritePages: w,
+				CumAccesses:   w * (1 + 2*rnd.Float64()),
+			})
+			nextID++
+		}
+		s.Devices = append(s.Devices, dev)
+	}
+	return s
+}
+
+// checkPlanInvariants verifies the properties every plan must satisfy.
+func checkPlanInvariants(t *testing.T, s *Snapshot, moves []Move, intraGroup bool, cfg Config) {
+	t.Helper()
+	seen := map[object.ID]bool{}
+	gained := map[int]int64{}
+	ownedBy := map[object.ID]int{}
+	for _, d := range s.Devices {
+		for _, o := range d.Objects {
+			ownedBy[o.ID] = d.OSD
+		}
+	}
+	for _, m := range moves {
+		if m.Src == m.Dst {
+			t.Fatalf("self-move: %+v", m)
+		}
+		if seen[m.Obj] {
+			t.Fatalf("object %d moved twice", m.Obj)
+		}
+		seen[m.Obj] = true
+		if owner, ok := ownedBy[m.Obj]; !ok || owner != m.Src {
+			t.Fatalf("move of object %d from %d, but it lives on %d", m.Obj, m.Src, owner)
+		}
+		if intraGroup && !s.Layout.SameGroup(m.Src, m.Dst) {
+			t.Fatalf("cross-group move: %+v", m)
+		}
+		if m.Pages <= 0 {
+			t.Fatalf("empty move: %+v", m)
+		}
+		gained[m.Dst] += m.Pages
+	}
+	// Destination fill caps hold including everything already shipped.
+	for dst, pages := range gained {
+		var dev *DeviceState
+		for i := range s.Devices {
+			if s.Devices[i].OSD == dst {
+				dev = &s.Devices[i]
+			}
+		}
+		if dev == nil {
+			t.Fatalf("move to unknown device %d", dst)
+		}
+		if float64(dev.UsedPages+pages) > cfg.MaxDestUtilization*float64(dev.CapacityPages)+1 {
+			t.Fatalf("destination %d overfilled: used %d + gained %d vs cap %v",
+				dst, dev.UsedPages, pages, cfg.MaxDestUtilization*float64(dev.CapacityPages))
+		}
+	}
+}
+
+// Property: HDF and CDF plans respect every structural invariant on
+// arbitrary snapshots.
+func TestPropertyEDMPlanInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(0); seed < 60; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		s := randomSnapshot(rnd)
+		h := NewHDF(cfg)
+		h.Force = true
+		checkPlanInvariants(t, s, h.Plan(s), true, cfg)
+		c := NewCDF(cfg)
+		c.Force = true
+		checkPlanInvariants(t, s, c.Plan(s), true, cfg)
+	}
+}
+
+// Property: CMT plans respect the shared invariants (group freedom
+// allowed) on arbitrary snapshots.
+func TestPropertyCMTPlanInvariants(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(100); seed < 160; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		s := randomSnapshot(rnd)
+		c := NewCMT(cfg)
+		c.Force = true
+		checkPlanInvariants(t, s, c.Plan(s), false, cfg)
+	}
+}
+
+// Property: planning is deterministic — identical snapshots produce
+// identical plans.
+func TestPropertyPlanningDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	for seed := int64(200); seed < 220; seed++ {
+		a := randomSnapshot(rand.New(rand.NewSource(seed)))
+		b := randomSnapshot(rand.New(rand.NewSource(seed)))
+		for _, mk := range []func() Planner{
+			func() Planner { h := NewHDF(cfg); h.Force = true; return h },
+			func() Planner { c := NewCDF(cfg); c.Force = true; return c },
+			func() Planner { c := NewCMT(cfg); c.Force = true; return c },
+		} {
+			pa, pb := mk().Plan(a), mk().Plan(b)
+			if len(pa) != len(pb) {
+				t.Fatalf("seed %d: plan lengths differ %d vs %d", seed, len(pa), len(pb))
+			}
+			for i := range pa {
+				if pa[i] != pb[i] {
+					t.Fatalf("seed %d: move %d differs: %+v vs %+v", seed, i, pa[i], pb[i])
+				}
+			}
+		}
+	}
+}
+
+// Property: Algorithm 1 conserves the shifted quantity and never
+// produces NaN/Inf on arbitrary device states.
+func TestPropertyAlg1Conservation(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	cfg := DefaultConfig()
+	cfg.Steps = 100 // keep the property run quick
+	for seed := int64(300); seed < 340; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		n := rnd.Intn(6) + 2
+		devs := make([]DeviceState, n)
+		eligible := make([]int, n)
+		for i := range devs {
+			devs[i] = DeviceState{
+				OSD:           i,
+				WinWritePages: float64(rnd.Intn(200000)),
+				Utilization:   0.2 + rnd.Float64()*0.7,
+				CapacityPages: 100000,
+			}
+			eligible[i] = i
+		}
+		for _, mode := range []Mode{ModeHDF, ModeCDF} {
+			res := CalculateAmountOfDataMovement(model, devs, eligible, mode, cfg)
+			var sumWc, sumU float64
+			for i := range devs {
+				dw, du := res.DeltaWc[i], res.DeltaU[i]
+				if dw != dw || du != du { // NaN
+					t.Fatalf("seed %d %v: NaN delta", seed, mode)
+				}
+				sumWc += dw
+				sumU += du
+				// No device may be planned below zero write pages.
+				if devs[i].WinWritePages+dw < -1e-6 {
+					t.Fatalf("seed %d: negative planned Wc on %d", seed, i)
+				}
+			}
+			if sumWc > 1e-6 || sumWc < -1e-6 {
+				t.Fatalf("seed %d %v: ΔWc sum %v", seed, mode, sumWc)
+			}
+			if sumU > 1e-9 || sumU < -1e-9 {
+				t.Fatalf("seed %d %v: Δu sum %v", seed, mode, sumU)
+			}
+		}
+	}
+}
+
+// Property: Algorithm 1 never increases the erase-count spread.
+func TestPropertyAlg1NeverWorsensSpread(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	cfg := DefaultConfig()
+	cfg.Steps = 200
+	for seed := int64(400); seed < 430; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		n := rnd.Intn(5) + 2
+		devs := make([]DeviceState, n)
+		eligible := make([]int, n)
+		for i := range devs {
+			devs[i] = DeviceState{
+				OSD:           i,
+				WinWritePages: float64(rnd.Intn(150000) + 1),
+				Utilization:   0.3 + rnd.Float64()*0.5,
+				CapacityPages: 100000,
+			}
+			eligible[i] = i
+		}
+		spread := func(wc func(i int) float64) float64 {
+			lo, hi := 1e18, -1e18
+			for i := range devs {
+				e := model.EraseCount(wc(i), devs[i].Utilization)
+				if e < lo {
+					lo = e
+				}
+				if e > hi {
+					hi = e
+				}
+			}
+			return hi - lo
+		}
+		before := spread(func(i int) float64 { return devs[i].WinWritePages })
+		res := CalculateAmountOfDataMovement(model, devs, eligible, ModeHDF, cfg)
+		after := spread(func(i int) float64 { return devs[i].WinWritePages + res.DeltaWc[i] })
+		if after > before+1e-6 {
+			t.Fatalf("seed %d: spread worsened %v -> %v", seed, before, after)
+		}
+	}
+}

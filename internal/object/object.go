@@ -1,0 +1,358 @@
+// Package object implements the per-OSD object store: variable-size
+// objects bound to logical-page extents on a flash.SSD. Object-based
+// storage devices (osc-osd in the paper's testbed) expose exactly this
+// interface — create/delete/read/write by object id and byte range.
+package object
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"edm/internal/flash"
+	"edm/internal/sim"
+)
+
+// ID is a cluster-wide unique object identifier.
+type ID int64
+
+// ErrNoSpace is returned when the store cannot allocate logical pages
+// for a new object without exceeding the SSD's live-data headroom.
+var ErrNoSpace = errors.New("object: no space for object")
+
+// ErrNotFound is returned when operating on an unknown object.
+var ErrNotFound = errors.New("object: object not found")
+
+// extent is a contiguous run of logical pages.
+type extent struct {
+	start int64 // first LPA
+	pages int64
+}
+
+type objectState struct {
+	size    int64 // bytes
+	extents []extent
+}
+
+func (o *objectState) pages() int64 {
+	var n int64
+	for _, e := range o.extents {
+		n += e.pages
+	}
+	return n
+}
+
+// Store manages the objects resident on one SSD. It is single-threaded
+// like everything on the DES.
+type Store struct {
+	ssd      *flash.SSD
+	pageSize int64
+	objs     map[ID]*objectState
+	free     []extent // sorted by start, coalesced
+	usedPgs  int64
+}
+
+// NewStore wraps an SSD. The usable logical space is the SSD's
+// MaxLivePages, keeping GC headroom out of reach of object allocation.
+func NewStore(ssd *flash.SSD) *Store {
+	return &Store{
+		ssd:      ssd,
+		pageSize: ssd.Config().PageSize,
+		objs:     make(map[ID]*objectState),
+		free:     []extent{{start: 0, pages: ssd.MaxLivePages()}},
+	}
+}
+
+// SSD returns the underlying device.
+func (st *Store) SSD() *flash.SSD { return st.ssd }
+
+// PageSize returns the device page size in bytes.
+func (st *Store) PageSize() int64 { return st.pageSize }
+
+// Len returns the number of resident objects.
+func (st *Store) Len() int { return len(st.objs) }
+
+// UsedPages returns logical pages allocated to objects.
+func (st *Store) UsedPages() int64 { return st.usedPgs }
+
+// UsedBytes returns bytes consumed by objects (page-granular).
+func (st *Store) UsedBytes() int64 { return st.usedPgs * st.pageSize }
+
+// CapacityPages returns the usable logical page count.
+func (st *Store) CapacityPages() int64 { return st.ssd.MaxLivePages() }
+
+// Has reports whether the object is resident.
+func (st *Store) Has(id ID) bool { _, ok := st.objs[id]; return ok }
+
+// Size returns the object's size in bytes, or 0 if absent.
+func (st *Store) Size(id ID) int64 {
+	if o := st.objs[id]; o != nil {
+		return o.size
+	}
+	return 0
+}
+
+// Pages returns the number of logical pages backing the object.
+func (st *Store) Pages(id ID) int64 {
+	if o := st.objs[id]; o != nil {
+		return o.pages()
+	}
+	return 0
+}
+
+// IDs returns the resident object ids in ascending order.
+func (st *Store) IDs() []ID {
+	ids := make([]ID, 0, len(st.objs))
+	for id := range st.objs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (st *Store) pagesFor(bytes int64) int64 {
+	if bytes <= 0 {
+		return 1 // even empty objects occupy one page of metadata+data
+	}
+	return (bytes + st.pageSize - 1) / st.pageSize
+}
+
+// Create allocates an object of the given size without writing its data
+// (use Populate for that). It fails with ErrNoSpace if the allocation
+// would exceed the usable logical space.
+func (st *Store) Create(id ID, size int64) error {
+	if _, ok := st.objs[id]; ok {
+		return fmt.Errorf("object: %d already exists", id)
+	}
+	need := st.pagesFor(size)
+	exts, ok := st.alloc(need)
+	if !ok {
+		return fmt.Errorf("%w: %d pages for object %d", ErrNoSpace, need, id)
+	}
+	st.objs[id] = &objectState{size: size, extents: exts}
+	st.usedPgs += need
+	return nil
+}
+
+// Populate writes every page of the object (pre-creation fill, §V.A:
+// files are "pre-created and populated with sufficient data"), returning
+// the accumulated device latency.
+func (st *Store) Populate(id ID) (sim.Time, error) {
+	o := st.objs[id]
+	if o == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	var lat sim.Time
+	for _, e := range o.extents {
+		l, err := st.ssd.WriteN(e.start, int(e.pages))
+		lat += l
+		if err != nil {
+			return lat, err
+		}
+	}
+	return lat, nil
+}
+
+// Delete removes the object, trimming its pages on the device.
+func (st *Store) Delete(id ID) error {
+	o := st.objs[id]
+	if o == nil {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	for _, e := range o.extents {
+		st.ssd.TrimN(e.start, int(e.pages))
+		st.release(e)
+		st.usedPgs -= e.pages
+	}
+	delete(st.objs, id)
+	return nil
+}
+
+// pageRange maps a byte range of the object to page indices
+// [first, last] within the object's logical page sequence.
+func (st *Store) pageRange(o *objectState, off, length int64) (first, count int64) {
+	if length <= 0 {
+		return 0, 0
+	}
+	first = off / st.pageSize
+	last := (off + length - 1) / st.pageSize
+	return first, last - first + 1
+}
+
+// forEachPage walks the LPAs backing object pages [first, first+count).
+func (o *objectState) forEachPage(first, count int64, fn func(lpa int64) error) error {
+	idx := int64(0)
+	for _, e := range o.extents {
+		if count == 0 {
+			return nil
+		}
+		if first >= idx+e.pages {
+			idx += e.pages
+			continue
+		}
+		// Overlap within this extent.
+		startIn := int64(0)
+		if first > idx {
+			startIn = first - idx
+		}
+		for p := startIn; p < e.pages && count > 0; p++ {
+			if err := fn(e.start + p); err != nil {
+				return err
+			}
+			first++
+			count--
+		}
+		idx += e.pages
+	}
+	if count > 0 {
+		return fmt.Errorf("object: page walk ran past object end (%d pages unvisited)", count)
+	}
+	return nil
+}
+
+// Write services a byte-range write, growing the object when the range
+// extends past its current size. Returns the device latency.
+func (st *Store) Write(id ID, off, length int64) (sim.Time, error) {
+	o := st.objs[id]
+	if o == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if length <= 0 {
+		return 0, nil
+	}
+	if end := off + length; end > o.size {
+		if err := st.grow(o, end); err != nil {
+			return 0, err
+		}
+	}
+	first, count := st.pageRange(o, off, length)
+	var lat sim.Time
+	err := o.forEachPage(first, count, func(lpa int64) error {
+		l, werr := st.ssd.Write(lpa)
+		lat += l
+		return werr
+	})
+	return lat, err
+}
+
+// Read services a byte-range read, clamped to the object's size.
+func (st *Store) Read(id ID, off, length int64) (sim.Time, error) {
+	o := st.objs[id]
+	if o == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	if off >= o.size || length <= 0 {
+		return 0, nil
+	}
+	if off+length > o.size {
+		length = o.size - off
+	}
+	first, count := st.pageRange(o, off, length)
+	var lat sim.Time
+	err := o.forEachPage(first, count, func(lpa int64) error {
+		lat += st.ssd.Read(lpa)
+		return nil
+	})
+	return lat, err
+}
+
+// ReadAll reads every page of the object (migration source path).
+func (st *Store) ReadAll(id ID) (sim.Time, error) {
+	o := st.objs[id]
+	if o == nil {
+		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return st.Read(id, 0, o.size)
+}
+
+// grow extends the object to newSize bytes, allocating extra extents.
+func (st *Store) grow(o *objectState, newSize int64) error {
+	have := o.pages()
+	need := st.pagesFor(newSize)
+	if need > have {
+		exts, ok := st.alloc(need - have)
+		if !ok {
+			return fmt.Errorf("%w: grow by %d pages", ErrNoSpace, need-have)
+		}
+		o.extents = append(o.extents, exts...)
+		st.usedPgs += need - have
+	}
+	o.size = newSize
+	return nil
+}
+
+// alloc reserves n logical pages, possibly across several extents
+// (first-fit, splitting free runs). It returns ok=false, allocating
+// nothing, when fewer than n pages are free.
+func (st *Store) alloc(n int64) ([]extent, bool) {
+	var freeTotal int64
+	for _, e := range st.free {
+		freeTotal += e.pages
+	}
+	if freeTotal < n {
+		return nil, false
+	}
+	var got []extent
+	for i := 0; i < len(st.free) && n > 0; {
+		e := &st.free[i]
+		take := e.pages
+		if take > n {
+			take = n
+		}
+		got = append(got, extent{start: e.start, pages: take})
+		e.start += take
+		e.pages -= take
+		n -= take
+		if e.pages == 0 {
+			st.free = append(st.free[:i], st.free[i+1:]...)
+			continue
+		}
+		i++
+	}
+	if n != 0 {
+		panic("object: allocator accounting mismatch")
+	}
+	return got, true
+}
+
+// release returns an extent to the free list, coalescing neighbours.
+func (st *Store) release(e extent) {
+	i := sort.Search(len(st.free), func(i int) bool { return st.free[i].start >= e.start })
+	st.free = append(st.free, extent{})
+	copy(st.free[i+1:], st.free[i:])
+	st.free[i] = e
+	// Coalesce with successor then predecessor.
+	if i+1 < len(st.free) && st.free[i].start+st.free[i].pages == st.free[i+1].start {
+		st.free[i].pages += st.free[i+1].pages
+		st.free = append(st.free[:i+1], st.free[i+2:]...)
+	}
+	if i > 0 && st.free[i-1].start+st.free[i-1].pages == st.free[i].start {
+		st.free[i-1].pages += st.free[i].pages
+		st.free = append(st.free[:i], st.free[i+1:]...)
+	}
+}
+
+// CheckInvariants validates allocator bookkeeping (tests).
+func (st *Store) CheckInvariants() error {
+	var used int64
+	for _, o := range st.objs {
+		used += o.pages()
+	}
+	if used != st.usedPgs {
+		return fmt.Errorf("object: usedPgs=%d, actual %d", st.usedPgs, used)
+	}
+	var free int64
+	for i, e := range st.free {
+		free += e.pages
+		if e.pages <= 0 {
+			return fmt.Errorf("object: empty free extent at %d", i)
+		}
+		if i > 0 && st.free[i-1].start+st.free[i-1].pages > e.start {
+			return fmt.Errorf("object: free list overlap/order at %d", i)
+		}
+	}
+	if used+free != st.ssd.MaxLivePages() {
+		return fmt.Errorf("object: used %d + free %d != capacity %d", used, free, st.ssd.MaxLivePages())
+	}
+	return nil
+}

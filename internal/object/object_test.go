@@ -1,0 +1,323 @@
+package object
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"edm/internal/flash"
+)
+
+func newStore(t *testing.T) *Store {
+	t.Helper()
+	ssd, err := flash.New(flash.Config{
+		PageSize:      4096,
+		PagesPerBlock: 8,
+		Blocks:        64, // 512 pages; MaxLive = 512-40 = 472
+		GCLowBlocks:   2,
+		GCHighBlocks:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewStore(ssd)
+}
+
+func TestCreateDeleteLifecycle(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Has(1) {
+		t.Fatal("object missing after Create")
+	}
+	if st.Size(1) != 10000 {
+		t.Fatalf("Size = %d", st.Size(1))
+	}
+	if st.Pages(1) != 3 { // ceil(10000/4096)
+		t.Fatalf("Pages = %d", st.Pages(1))
+	}
+	if st.UsedPages() != 3 {
+		t.Fatalf("UsedPages = %d", st.UsedPages())
+	}
+	if err := st.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.Has(1) || st.UsedPages() != 0 {
+		t.Fatal("object remains after Delete")
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateDuplicateFails(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create(1, 100); err == nil {
+		t.Fatal("duplicate Create should fail")
+	}
+}
+
+func TestDeleteUnknownFails(t *testing.T) {
+	st := newStore(t)
+	if err := st.Delete(404); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestZeroSizeObjectOccupiesOnePage(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages(1) != 1 {
+		t.Fatalf("zero-size object pages = %d", st.Pages(1))
+	}
+}
+
+func TestPopulateWritesEveryPage(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 5*4096); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := st.Populate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 5*flash.DefaultProgramLatency {
+		t.Fatalf("populate latency %v", lat)
+	}
+	if st.SSD().LivePages() != 5 {
+		t.Fatalf("live pages = %d", st.SSD().LivePages())
+	}
+}
+
+func TestWriteByteRangeTouchesRightPages(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 10*4096); err != nil {
+		t.Fatal(err)
+	}
+	// A 100-byte write straddling a page boundary touches 2 pages.
+	lat, err := st.Write(1, 4096-50, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 2*flash.DefaultProgramLatency {
+		t.Fatalf("straddling write latency %v", lat)
+	}
+	// A one-byte write touches 1 page.
+	lat, err = st.Write(1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != flash.DefaultProgramLatency {
+		t.Fatalf("1-byte write latency %v", lat)
+	}
+}
+
+func TestWriteZeroLengthIsFree(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := st.Write(1, 0, 0)
+	if err != nil || lat != 0 {
+		t.Fatalf("zero-length write: lat=%v err=%v", lat, err)
+	}
+}
+
+func TestReadClampsToSize(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := st.Read(1, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != flash.DefaultReadLatency {
+		t.Fatalf("clamped read latency %v", lat)
+	}
+	// Reading past the end is a no-op.
+	lat, err = st.Read(1, 8192, 100)
+	if err != nil || lat != 0 {
+		t.Fatalf("past-end read: lat=%v err=%v", lat, err)
+	}
+}
+
+func TestWriteGrowsObject(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Write(1, 8000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if st.Size(1) != 9000 {
+		t.Fatalf("grown size = %d", st.Size(1))
+	}
+	if st.Pages(1) != 3 {
+		t.Fatalf("grown pages = %d", st.Pages(1))
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowthAcrossFragmentation(t *testing.T) {
+	st := newStore(t)
+	// Fill with interleaved objects, delete every other one, then grow
+	// a survivor across the resulting fragmentation.
+	for i := ID(0); i < 20; i++ {
+		if err := st.Create(i, 4*4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := ID(0); i < 20; i += 2 {
+		if err := st.Delete(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Write(1, 0, 30*4096); err != nil {
+		t.Fatal(err)
+	}
+	if st.Pages(1) != 30 {
+		t.Fatalf("pages after fragmented growth = %d", st.Pages(1))
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoSpace(t *testing.T) {
+	st := newStore(t)
+	cap := st.CapacityPages()
+	if err := st.Create(1, cap*4096); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Create(2, 4096); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	// Failed allocation must not leak pages.
+	if err := st.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.UsedPages() != 0 {
+		t.Fatalf("leak: used = %d", st.UsedPages())
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAllCoversObject(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 7*4096); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := st.ReadAll(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 7*flash.DefaultReadLatency {
+		t.Fatalf("ReadAll latency %v", lat)
+	}
+}
+
+func TestIDsSorted(t *testing.T) {
+	st := newStore(t)
+	for _, id := range []ID{5, 1, 3} {
+		if err := st.Create(id, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := st.IDs()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestOpsOnMissingObject(t *testing.T) {
+	st := newStore(t)
+	if _, err := st.Write(9, 0, 10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := st.Read(9, 0, 10); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Read: %v", err)
+	}
+	if _, err := st.Populate(9); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Populate: %v", err)
+	}
+}
+
+func TestDeleteTrimsFlash(t *testing.T) {
+	st := newStore(t)
+	if err := st.Create(1, 10*4096); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Populate(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.SSD().LivePages() != 10 {
+		t.Fatalf("live = %d", st.SSD().LivePages())
+	}
+	if err := st.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if st.SSD().LivePages() != 0 {
+		t.Fatalf("delete must trim: live = %d", st.SSD().LivePages())
+	}
+}
+
+// Fuzz create/delete/write/read against the allocator invariants.
+func TestRandomLifecyclesPreserveInvariants(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		st := newStore(t)
+		rnd := rand.New(rand.NewSource(seed))
+		alive := map[ID]bool{}
+		for op := 0; op < 2000; op++ {
+			id := ID(rnd.Intn(40))
+			switch rnd.Intn(5) {
+			case 0, 1:
+				if !alive[id] {
+					size := int64(rnd.Intn(8*4096) + 1)
+					if err := st.Create(id, size); err == nil {
+						alive[id] = true
+					} else if !errors.Is(err, ErrNoSpace) {
+						t.Fatalf("seed %d op %d create: %v", seed, op, err)
+					}
+				}
+			case 2:
+				if alive[id] {
+					if err := st.Delete(id); err != nil {
+						t.Fatalf("seed %d op %d delete: %v", seed, op, err)
+					}
+					delete(alive, id)
+				}
+			case 3:
+				if alive[id] {
+					off := int64(rnd.Intn(int(st.Size(id)) + 1))
+					if _, err := st.Write(id, off, int64(rnd.Intn(4096)+1)); err != nil &&
+						!errors.Is(err, ErrNoSpace) {
+						t.Fatalf("seed %d op %d write: %v", seed, op, err)
+					}
+				}
+			case 4:
+				if alive[id] {
+					if _, err := st.Read(id, 0, int64(rnd.Intn(8192))); err != nil {
+						t.Fatalf("seed %d op %d read: %v", seed, op, err)
+					}
+				}
+			}
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := st.SSD().CheckInvariants(); err != nil {
+			t.Fatalf("seed %d flash: %v", seed, err)
+		}
+	}
+}

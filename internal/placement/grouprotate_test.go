@@ -1,0 +1,133 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupRotateValidation(t *testing.T) {
+	good := []Layout{
+		{N: 16, M: 4, K: 4, Mode: ModeGroupRotate},
+		{N: 18, M: 4, K: 4, Mode: ModeGroupRotate}, // unequal modular groups
+		{N: 16, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{2, 3, 5, 6}},
+	}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%+v should validate: %v", l, err)
+		}
+	}
+	bad := []Layout{
+		{N: 16, M: 4, K: 4, Mode: ModeConsecutive, Sizes: []int{2, 3, 5, 6}}, // sizes need rotate
+		{N: 16, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{8, 8}},       // wrong count
+		{N: 16, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{0, 5, 5, 6}}, // zero size
+		{N: 16, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{2, 3, 5, 5}}, // wrong sum
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Fatalf("%+v should be rejected", l)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if ModeConsecutive.String() != "consecutive" || ModeGroupRotate.String() != "group-rotate" {
+		t.Fatal("mode strings")
+	}
+}
+
+func TestExplicitSizesPartitionDevices(t *testing.T) {
+	l := Layout{N: 16, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{2, 3, 5, 6}}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, l.N)
+	for g := 0; g < l.M; g++ {
+		members := l.GroupMembers(g)
+		if len(members) != l.Sizes[g] || l.GroupSize(g) != l.Sizes[g] {
+			t.Fatalf("group %d members %v", g, members)
+		}
+		for _, s := range members {
+			if seen[s] {
+				t.Fatalf("ssd %d in two groups", s)
+			}
+			seen[s] = true
+			if l.GroupOf(s) != g {
+				t.Fatalf("GroupOf(%d) = %d, want %d", s, l.GroupOf(s), g)
+			}
+		}
+	}
+	for s, ok := range seen {
+		if !ok {
+			t.Fatalf("ssd %d unassigned", s)
+		}
+	}
+}
+
+// The §III.D invariant under group rotation: a file's objects land in k
+// distinct groups regardless of (possibly unequal) group sizes.
+func TestPropertyGroupRotateDistinctGroups(t *testing.T) {
+	layouts := []Layout{
+		{N: 16, M: 4, K: 4, Mode: ModeGroupRotate},
+		{N: 18, M: 4, K: 4, Mode: ModeGroupRotate},
+		{N: 16, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{2, 3, 5, 6}},
+		{N: 21, M: 7, K: 5, Mode: ModeGroupRotate, Sizes: []int{1, 2, 2, 3, 3, 4, 6}},
+	}
+	for _, l := range layouts {
+		if err := l.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		f := func(inodeRaw uint32) bool {
+			groups := map[int]bool{}
+			for _, s := range l.Place(int64(inodeRaw)) {
+				g := l.GroupOf(s)
+				if groups[g] {
+					return false
+				}
+				groups[g] = true
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+			t.Fatalf("layout %+v: %v", l, err)
+		}
+	}
+}
+
+// Group rotation spreads files within groups: over many inodes, every
+// member of every group receives objects.
+func TestGroupRotateCoverage(t *testing.T) {
+	l := Layout{N: 16, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{2, 3, 5, 6}}
+	counts := make([]int, l.N)
+	for inode := int64(0); inode < 4000; inode++ {
+		for _, s := range l.Place(inode) {
+			counts[s]++
+		}
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("ssd %d never used", s)
+		}
+	}
+	// Per-device load should scale inversely with group size: members
+	// of the size-2 group see ~3x the objects of the size-6 group.
+	small := counts[0]  // group 0, size 2
+	large := counts[15] // group 3, size 6
+	if float64(small)/float64(large) < 1.5 {
+		t.Fatalf("expected small-group devices to carry more objects: %d vs %d", small, large)
+	}
+}
+
+func TestGroupRotateHomeInRange(t *testing.T) {
+	l := Layout{N: 18, M: 4, K: 4, Mode: ModeGroupRotate}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for inode := int64(0); inode < 1000; inode++ {
+		for idx := 0; idx < l.K; idx++ {
+			h := l.HomeOf(inode, idx)
+			if h < 0 || h >= l.N {
+				t.Fatalf("HomeOf(%d,%d) = %d", inode, idx, h)
+			}
+		}
+	}
+}

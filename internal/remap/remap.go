@@ -1,0 +1,114 @@
+// Package remap implements the remapping table manager (§III.C): the
+// authoritative record of where migrated objects currently live. Because
+// placement is hash-based, only objects that have moved away from their
+// home SSD need entries; the table's size therefore grows with the
+// number of distinct moved objects, which is why EDM prefers re-moving
+// objects that already have entries.
+package remap
+
+import (
+	"sort"
+
+	"edm/internal/object"
+)
+
+// Table maps moved objects to their current OSD. The zero value is not
+// usable; construct with New.
+type Table struct {
+	entries map[object.ID]int
+
+	moves       uint64 // total migration actions recorded
+	inserts     uint64 // moves that created a new entry
+	updates     uint64 // moves that rewrote an existing entry
+	removals    uint64 // moves that sent an object back home
+	peakEntries int
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{entries: make(map[object.ID]int)}
+}
+
+// Lookup returns the OSD currently holding the object, given its home
+// (hash-placed) OSD.
+func (t *Table) Lookup(id object.ID, home int) int {
+	if osd, ok := t.entries[id]; ok {
+		return osd
+	}
+	return home
+}
+
+// Contains reports whether the object has a remap entry — i.e. lives
+// away from home. EDM's selection policies prefer such objects because
+// re-moving them does not grow the table.
+func (t *Table) Contains(id object.ID) bool {
+	_, ok := t.entries[id]
+	return ok
+}
+
+// Record notes that the object migrated to dst. When dst equals the
+// object's home the entry is dropped (the object is back where the hash
+// function puts it).
+func (t *Table) Record(id object.ID, home, dst int) {
+	t.moves++
+	if dst == home {
+		if _, ok := t.entries[id]; ok {
+			delete(t.entries, id)
+			t.removals++
+		}
+		return
+	}
+	if _, ok := t.entries[id]; ok {
+		t.updates++
+	} else {
+		t.inserts++
+	}
+	t.entries[id] = dst
+	if len(t.entries) > t.peakEntries {
+		t.peakEntries = len(t.entries)
+	}
+}
+
+// Len returns the current number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Stats describes table growth.
+type Stats struct {
+	Moves       uint64 // migration actions recorded
+	Inserts     uint64 // actions that grew the table
+	Updates     uint64 // actions that reused an entry
+	Removals    uint64 // actions that shrank the table (moved home)
+	Entries     int    // current size
+	PeakEntries int    // high-water mark
+}
+
+// Stats returns a snapshot of the table's growth counters.
+func (t *Table) Stats() Stats {
+	return Stats{
+		Moves:       t.moves,
+		Inserts:     t.inserts,
+		Updates:     t.updates,
+		Removals:    t.removals,
+		Entries:     len(t.entries),
+		PeakEntries: t.peakEntries,
+	}
+}
+
+// Entries returns the remapped object ids in ascending order (tests and
+// selection policies needing deterministic iteration).
+func (t *Table) Entries() []object.ID {
+	ids := make([]object.ID, 0, len(t.entries))
+	for id := range t.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// MemoryBytes estimates the table's resident size: one 8-byte id plus a
+// 4-byte OSD index per entry plus map overhead (~1.5x), the quantity
+// Fig. 8 is a proxy for.
+func (t *Table) MemoryBytes() int64 {
+	const perEntry = 12
+	return int64(float64(len(t.entries)*perEntry) * 1.5)
+}

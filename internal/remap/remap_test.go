@@ -1,0 +1,142 @@
+package remap
+
+import (
+	"testing"
+	"testing/quick"
+
+	"edm/internal/object"
+)
+
+func TestLookupDefaultsToHome(t *testing.T) {
+	tb := New()
+	if got := tb.Lookup(1, 7); got != 7 {
+		t.Fatalf("Lookup = %d", got)
+	}
+	if tb.Contains(1) {
+		t.Fatal("fresh table should contain nothing")
+	}
+}
+
+func TestRecordAndLookup(t *testing.T) {
+	tb := New()
+	tb.Record(1, 7, 3)
+	if got := tb.Lookup(1, 7); got != 3 {
+		t.Fatalf("Lookup after move = %d", got)
+	}
+	if !tb.Contains(1) {
+		t.Fatal("moved object should have an entry")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestMoveBackHomeRemovesEntry(t *testing.T) {
+	tb := New()
+	tb.Record(1, 7, 3)
+	tb.Record(1, 7, 7)
+	if tb.Contains(1) || tb.Len() != 0 {
+		t.Fatal("moving home should drop the entry")
+	}
+	st := tb.Stats()
+	if st.Removals != 1 || st.Inserts != 1 || st.Moves != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestMoveHomeWithoutEntryIsCounted(t *testing.T) {
+	tb := New()
+	tb.Record(1, 7, 7) // degenerate: moved to its own home
+	st := tb.Stats()
+	if st.Moves != 1 || st.Removals != 0 || tb.Len() != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestUpdateReusesEntry(t *testing.T) {
+	tb := New()
+	tb.Record(1, 7, 3)
+	tb.Record(1, 7, 5) // second move: update, not insert
+	st := tb.Stats()
+	if st.Inserts != 1 || st.Updates != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if got := tb.Lookup(1, 7); got != 5 {
+		t.Fatalf("Lookup = %d", got)
+	}
+}
+
+func TestPeakEntries(t *testing.T) {
+	tb := New()
+	tb.Record(1, 0, 1)
+	tb.Record(2, 0, 1)
+	tb.Record(3, 0, 1)
+	tb.Record(1, 0, 0) // back home
+	st := tb.Stats()
+	if st.PeakEntries != 3 || st.Entries != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	tb := New()
+	for _, id := range []object.ID{9, 2, 5} {
+		tb.Record(id, 0, 1)
+	}
+	got := tb.Entries()
+	if len(got) != 3 || got[0] != 2 || got[1] != 5 || got[2] != 9 {
+		t.Fatalf("Entries = %v", got)
+	}
+}
+
+func TestMemoryBytesScalesWithEntries(t *testing.T) {
+	tb := New()
+	if tb.MemoryBytes() != 0 {
+		t.Fatal("empty table should report 0 bytes")
+	}
+	for i := object.ID(0); i < 100; i++ {
+		tb.Record(i, 0, 1)
+	}
+	if tb.MemoryBytes() < 100*12 {
+		t.Fatalf("MemoryBytes = %d", tb.MemoryBytes())
+	}
+}
+
+// Property: after any sequence of moves, Lookup returns the last
+// non-home destination, or home if the object returned home.
+func TestPropertyLookupTracksLastMove(t *testing.T) {
+	f := func(moves []uint8) bool {
+		tb := New()
+		const home = 0
+		last := map[object.ID]int{}
+		for _, m := range moves {
+			id := object.ID(m % 8)
+			dst := int(m/8) % 4
+			tb.Record(id, home, dst)
+			if dst == home {
+				delete(last, id)
+			} else {
+				last[id] = dst
+			}
+		}
+		for id := object.ID(0); id < 8; id++ {
+			want, moved := last[id]
+			if !moved {
+				want = home
+			}
+			if tb.Lookup(id, home) != want {
+				return false
+			}
+			if tb.Contains(id) != moved {
+				return false
+			}
+		}
+		return tb.Len() == len(last)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams with the same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	// A child stream's sequence must not depend on sibling draws.
+	p1 := New(42)
+	c1 := p1.Split(7)
+	seq1 := []uint64{c1.Uint64(), c1.Uint64(), c1.Uint64()}
+
+	p2 := New(42)
+	other := p2.Split(99)
+	_ = other.Uint64() // sibling activity
+	c2 := p2.Split(7)
+	seq2 := []uint64{c2.Uint64(), c2.Uint64(), c2.Uint64()}
+
+	for i := range seq1 {
+		if seq1[i] != seq2[i] {
+			t.Fatalf("child stream depends on sibling usage (draw %d)", i)
+		}
+	}
+}
+
+func TestSplitLabelsDiffer(t *testing.T) {
+	p := New(42)
+	a, b := p.Split(1), p.Split(2)
+	if a.Uint64() == b.Uint64() && a.Uint64() == b.Uint64() {
+		t.Fatal("different split labels produced identical streams")
+	}
+}
+
+func TestSeedAccessor(t *testing.T) {
+	if New(123).Seed() != 123 {
+		t.Fatal("Seed() should return the construction seed")
+	}
+}
+
+func TestUniformRangeBounds(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 10000; i++ {
+		v := s.UniformRange(5, 9)
+		if v < 5 || v > 9 {
+			t.Fatalf("UniformRange(5,9) produced %d", v)
+		}
+	}
+}
+
+func TestUniformRangeSingleton(t *testing.T) {
+	s := New(1)
+	if v := s.UniformRange(4, 4); v != 4 {
+		t.Fatalf("UniformRange(4,4) = %d", v)
+	}
+}
+
+func TestUniformRangePanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range must panic")
+		}
+	}()
+	New(1).UniformRange(9, 5)
+}
+
+func TestUniformRangeMean(t *testing.T) {
+	s := New(3)
+	var sum float64
+	n := 200000
+	for i := 0; i < n; i++ {
+		sum += float64(s.UniformRange(100, 300))
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-200) > 2 {
+		t.Fatalf("UniformRange(100,300) mean %v, want ≈200", mean)
+	}
+}
+
+func TestLognormalMeanMatchesRequestedMean(t *testing.T) {
+	s := New(9)
+	var sum float64
+	n := 300000
+	for i := 0; i < n; i++ {
+		sum += s.LognormalMean(1000, 0.5)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-1000)/1000 > 0.02 {
+		t.Fatalf("LognormalMean(1000,0.5) empirical mean %v", mean)
+	}
+}
+
+func TestLognormalMeanZeroCV(t *testing.T) {
+	if v := New(1).LognormalMean(500, 0); v != 500 {
+		t.Fatalf("cv=0 should return the mean, got %v", v)
+	}
+}
+
+func TestLognormalMeanPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive mean must panic")
+		}
+	}()
+	New(1).LognormalMean(0, 1)
+}
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipf(100, 1.1)
+	var sum float64
+	for i := 0; i < z.N(); i++ {
+		sum += z.ProbAt(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("Zipf probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfMonotoneDecreasing(t *testing.T) {
+	z := NewZipf(1000, 0.9)
+	for i := 1; i < z.N(); i++ {
+		if z.ProbAt(i) > z.ProbAt(i-1)+1e-12 {
+			t.Fatalf("Zipf probability increased at rank %d", i)
+		}
+	}
+}
+
+func TestZipfSamplingMatchesPMF(t *testing.T) {
+	z := NewZipf(50, 1.2)
+	s := New(11)
+	counts := make([]int, 50)
+	n := 500000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(s)]++
+	}
+	for r := 0; r < 10; r++ {
+		emp := float64(counts[r]) / float64(n)
+		if math.Abs(emp-z.ProbAt(r)) > 0.01 {
+			t.Fatalf("rank %d: empirical %v vs pmf %v", r, emp, z.ProbAt(r))
+		}
+	}
+}
+
+func TestZipfMandelbrotFlattensHead(t *testing.T) {
+	classic := NewZipf(1000, 1.1)
+	flat := NewZipfMandelbrot(1000, 1.1, 20)
+	if flat.ProbAt(0) >= classic.ProbAt(0) {
+		t.Fatalf("offset should flatten the head: %v vs %v", flat.ProbAt(0), classic.ProbAt(0))
+	}
+	// The head (top 1%) share shrinks with q.
+	headShare := func(z *Zipf) float64 {
+		var s float64
+		for i := 0; i < 10; i++ {
+			s += z.ProbAt(i)
+		}
+		return s
+	}
+	if headShare(flat) >= headShare(classic) {
+		t.Fatal("Mandelbrot offset should reduce head share")
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, 0) },
+		func() { NewZipfMandelbrot(10, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Zipf samples are always in range for arbitrary sizes/skews.
+func TestPropertyZipfSampleInRange(t *testing.T) {
+	f := func(nRaw uint8, skewRaw uint8, seed uint64) bool {
+		n := int(nRaw)%500 + 1
+		skew := 0.1 + float64(skewRaw)/64.0
+		z := NewZipf(n, skew)
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			r := z.Sample(s)
+			if r < 0 || r >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Perm always returns a permutation.
+func TestPropertyPermIsPermutation(t *testing.T) {
+	f := func(nRaw uint8, seed uint64) bool {
+		n := int(nRaw)%200 + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

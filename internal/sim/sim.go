@@ -1,0 +1,247 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in schedule order (FIFO),
+// which makes every simulation a pure function of its inputs: running the
+// same model twice yields identical event orderings and therefore
+// identical results. All EDM experiments are built on this property.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds from the start of
+// the simulation. It is deliberately distinct from time.Time: simulated
+// clusters have no relation to the wall clock.
+type Time int64
+
+// Common virtual durations, mirroring time package constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// MaxTime is the largest representable virtual time.
+const MaxTime Time = math.MaxInt64
+
+// Duration converts a time.Duration into a virtual duration.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Minutes reports t as floating-point minutes.
+func (t Time) Minutes() float64 { return float64(t) / float64(Minute) }
+
+// String formats the virtual time like a time.Duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a callback scheduled to run at a virtual instant.
+type Event func(now Time)
+
+type scheduled struct {
+	at    Time
+	seq   uint64 // tiebreaker: FIFO among same-time events
+	fn    Event
+	index int
+	dead  bool
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct{ s *scheduled }
+
+// Cancel removes the event from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// still pending.
+func (h Handle) Cancel() bool {
+	if h.s == nil || h.s.dead || h.s.index < 0 {
+		return false
+	}
+	h.s.dead = true
+	return true
+}
+
+type eventQueue []*scheduled
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	s := x.(*scheduled)
+	s.index = len(*q)
+	*q = append(*q, s)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	s.index = -1
+	*q = old[:n-1]
+	return s
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; parallelism in the EDM harness happens across
+// independent Engine instances, never within one.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	running bool
+}
+
+// New returns an engine with the clock at zero and an empty queue.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue, including
+// cancelled events that have not yet been discarded.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past (before Now) panics: it would silently corrupt causality.
+func (e *Engine) At(at Time, fn Event) Handle {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event")
+	}
+	s := &scheduled{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, s)
+	return Handle{s}
+}
+
+// After schedules fn to run delay after the current time.
+func (e *Engine) After(delay Time, fn Event) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Every schedules fn at now+period, then repeatedly every period until
+// the returned handle's Cancel is called or the run ends. fn observes the
+// firing time.
+func (e *Engine) Every(period Time, fn Event) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v", period))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+// Ticker repeatedly schedules an event with a fixed period.
+type Ticker struct {
+	engine  *Engine
+	period  Time
+	fn      Event
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.engine.After(t.period, func(now Time) {
+		if t.stopped {
+			return
+		}
+		t.fn(now)
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.handle.Cancel()
+}
+
+// Step executes the next pending event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		s := heap.Pop(&e.queue).(*scheduled)
+		if s.dead {
+			continue
+		}
+		e.now = s.at
+		e.fired++
+		s.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	e.guard()
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline (if it is beyond the last event fired).
+func (e *Engine) RunUntil(deadline Time) {
+	e.guard()
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+func (e *Engine) peek() *scheduled {
+	for len(e.queue) > 0 {
+		if e.queue[0].dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0]
+	}
+	return nil
+}
+
+func (e *Engine) guard() {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+}

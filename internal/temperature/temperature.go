@@ -1,0 +1,211 @@
+// Package temperature tracks object temperatures per Definition 1 of the
+// EDM paper: the time line since an object's creation is split into
+// fixed-width intervals, and the temperature at interval boundary k is
+//
+//	T_k(O) = Σ_{i=1..k} A_i / 2^(k−i)  =  T_{k−1}(O)/2 + A_k   (Eq. 5, 6)
+//
+// where A_i counts the accesses to O during interval i. The tracker
+// maintains two temperatures per object with different A_i definitions:
+//
+//   - the write temperature counts only write operations (used by HDF,
+//     which moves the most write-frequently objects), and
+//   - the total temperature counts reads and writes (used by CDF, which
+//     moves rarely-accessed objects).
+//
+// Accesses are weighted by the number of pages touched, so "reducing the
+// total write pages by ΔW_c" (§III.B.5) is dimensionally consistent with
+// the temperatures used to pick objects.
+//
+// Entries decay lazily: an object's counters are only brought forward to
+// the current interval when the object is touched or queried, so idle
+// objects cost nothing per tick.
+package temperature
+
+import (
+	"fmt"
+	"math"
+
+	"edm/internal/sim"
+)
+
+// DefaultInterval is the decay interval; the paper recomputes wear and
+// temperatures on a one-minute cadence (§III.B.2).
+const DefaultInterval = sim.Minute
+
+// ObjectID identifies an object; it mirrors object.ID without importing
+// the package (temperature is a leaf dependency).
+type ObjectID int64
+
+type entry struct {
+	epoch     int64   // interval index the temperatures are valid for
+	writeTemp float64 // decayed write temperature at start of epoch
+	totalTemp float64 // decayed read+write temperature at start of epoch
+	writeAcc  float64 // write pages accumulated within current epoch
+	totalAcc  float64 // total pages accumulated within current epoch
+	winWrites float64 // write pages since the last window reset (ΔW_c accounting)
+	cumWrites float64 // write pages since creation
+	cumReads  float64 // read pages since creation
+}
+
+// Tracker records accesses for one OSD's objects. Objects migrate
+// between trackers via Export/Import so their history follows them.
+type Tracker struct {
+	interval sim.Time
+	objs     map[ObjectID]*entry
+}
+
+// New returns a tracker with the given decay interval.
+func New(interval sim.Time) *Tracker {
+	if interval <= 0 {
+		panic(fmt.Sprintf("temperature: non-positive interval %v", interval))
+	}
+	return &Tracker{interval: interval, objs: make(map[ObjectID]*entry)}
+}
+
+// Interval returns the decay interval.
+func (t *Tracker) Interval() sim.Time { return t.interval }
+
+// Len returns the number of tracked objects.
+func (t *Tracker) Len() int { return len(t.objs) }
+
+func (t *Tracker) epochOf(now sim.Time) int64 { return int64(now / t.interval) }
+
+func (t *Tracker) get(id ObjectID) *entry {
+	e := t.objs[id]
+	if e == nil {
+		e = &entry{}
+		t.objs[id] = e
+	}
+	return e
+}
+
+// advance folds accumulated accesses into the temperatures and decays
+// them up to the given epoch.
+func (e *entry) advance(epoch int64) {
+	if epoch <= e.epoch {
+		return
+	}
+	gap := epoch - e.epoch
+	// First boundary crossing folds the current interval's accesses.
+	e.writeTemp = e.writeTemp/2 + e.writeAcc
+	e.totalTemp = e.totalTemp/2 + e.totalAcc
+	e.writeAcc, e.totalAcc = 0, 0
+	// Remaining boundary crossings observe no accesses.
+	if rest := gap - 1; rest > 0 {
+		if rest >= 64 {
+			e.writeTemp, e.totalTemp = 0, 0
+		} else {
+			scale := math.Ldexp(1, -int(rest))
+			e.writeTemp *= scale
+			e.totalTemp *= scale
+		}
+	}
+	e.epoch = epoch
+}
+
+// RecordWrite notes a write touching pages pages at virtual time now.
+func (t *Tracker) RecordWrite(id ObjectID, pages int, now sim.Time) {
+	e := t.get(id)
+	e.advance(t.epochOf(now))
+	p := float64(pages)
+	e.writeAcc += p
+	e.totalAcc += p
+	e.winWrites += p
+	e.cumWrites += p
+}
+
+// RecordRead notes a read touching pages pages at virtual time now.
+func (t *Tracker) RecordRead(id ObjectID, pages int, now sim.Time) {
+	e := t.get(id)
+	e.advance(t.epochOf(now))
+	e.totalAcc += float64(pages)
+	e.cumReads += float64(pages)
+}
+
+// Snapshot is an object's temperature state at a query instant.
+type Snapshot struct {
+	ID        ObjectID
+	WriteTemp float64 // HDF ranking key
+	TotalTemp float64 // CDF coldness key
+	WinWrites float64 // write pages since last window reset
+	CumWrites float64
+	CumReads  float64
+}
+
+// Query returns the object's snapshot as of now. The in-progress
+// interval's accesses contribute at full weight (they are the freshest
+// signal available at selection time). Unknown objects return a zero
+// snapshot.
+func (t *Tracker) Query(id ObjectID, now sim.Time) Snapshot {
+	e := t.objs[id]
+	if e == nil {
+		return Snapshot{ID: id}
+	}
+	e.advance(t.epochOf(now))
+	return Snapshot{
+		ID:        id,
+		WriteTemp: e.writeTemp + e.writeAcc,
+		TotalTemp: e.totalTemp + e.totalAcc,
+		WinWrites: e.winWrites,
+		CumWrites: e.cumWrites,
+		CumReads:  e.cumReads,
+	}
+}
+
+// All returns snapshots for every tracked object as of now, in
+// unspecified order.
+func (t *Tracker) All(now sim.Time) []Snapshot {
+	out := make([]Snapshot, 0, len(t.objs))
+	for id := range t.objs {
+		out = append(out, t.Query(id, now))
+	}
+	return out
+}
+
+// ResetWindow zeroes every object's window write counter, starting a new
+// ΔW_c accounting window (called when a migration round completes).
+func (t *Tracker) ResetWindow() {
+	for _, e := range t.objs {
+		e.winWrites = 0
+	}
+}
+
+// Forget drops an object (deleted from this OSD without migration).
+func (t *Tracker) Forget(id ObjectID) { delete(t.objs, id) }
+
+// Export removes the object's state for transfer to another tracker,
+// reporting whether the object was known.
+func (t *Tracker) Export(id ObjectID, now sim.Time) (Snapshot, bool) {
+	e := t.objs[id]
+	if e == nil {
+		return Snapshot{ID: id}, false
+	}
+	e.advance(t.epochOf(now))
+	snap := Snapshot{
+		ID:        id,
+		WriteTemp: e.writeTemp,
+		TotalTemp: e.totalTemp,
+		WinWrites: e.winWrites,
+		CumWrites: e.cumWrites,
+		CumReads:  e.cumReads,
+	}
+	// Carry the unfolded in-interval accesses along in the temps so no
+	// history is lost across a move.
+	snap.WriteTemp += e.writeAcc
+	snap.TotalTemp += e.totalAcc
+	delete(t.objs, id)
+	return snap, true
+}
+
+// Import installs a snapshot exported from another tracker.
+func (t *Tracker) Import(snap Snapshot, now sim.Time) {
+	e := &entry{
+		epoch:     t.epochOf(now),
+		writeTemp: snap.WriteTemp,
+		totalTemp: snap.TotalTemp,
+		winWrites: snap.WinWrites,
+		cumWrites: snap.CumWrites,
+		cumReads:  snap.CumReads,
+	}
+	t.objs[snap.ID] = e
+}

@@ -1,0 +1,199 @@
+package temperature
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/sim"
+)
+
+const iv = sim.Minute
+
+func TestRecurrenceEquationSix(t *testing.T) {
+	// T_k = T_{k-1}/2 + A_k, checked against the closed form Eq.(5).
+	tr := New(iv)
+	accesses := []int{4, 0, 2, 8, 1}
+	for k, a := range accesses {
+		for i := 0; i < a; i++ {
+			tr.RecordWrite(1, 1, sim.Time(k)*iv+iv/2)
+		}
+	}
+	// Query at the start of epoch len(accesses): all epochs folded.
+	got := tr.Query(1, sim.Time(len(accesses))*iv).WriteTemp
+	want := 0.0
+	k := len(accesses)
+	for i, a := range accesses {
+		want += float64(a) / math.Pow(2, float64(k-i-1))
+	}
+	// Query at epoch k sees T_k (folded at the k-th boundary).
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Eq.(5/6) mismatch: got %v want %v", got, want)
+	}
+}
+
+func TestCurrentIntervalCountsAtFullWeight(t *testing.T) {
+	tr := New(iv)
+	tr.RecordWrite(1, 3, 10)
+	snap := tr.Query(1, 20)
+	if snap.WriteTemp != 3 {
+		t.Fatalf("in-interval accesses should count fully: %v", snap.WriteTemp)
+	}
+}
+
+func TestDecayOverIdleGaps(t *testing.T) {
+	tr := New(iv)
+	tr.RecordWrite(1, 8, 0)
+	// The access at t=0 belongs to interval 1, so T_1 = 8 and each
+	// further idle boundary halves it: T_g = 8 / 2^(g-1).
+	for _, g := range []int64{1, 2, 3, 10} {
+		got := tr.Query(1, sim.Time(g)*iv).WriteTemp
+		want := 8 / math.Pow(2, float64(g-1))
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("gap %d: got %v want %v", g, got, want)
+		}
+	}
+}
+
+func TestLongGapUnderflowsToZero(t *testing.T) {
+	tr := New(iv)
+	tr.RecordWrite(1, 1000, 0)
+	if got := tr.Query(1, 100*iv).WriteTemp; got != 0 {
+		t.Fatalf("after 100 idle epochs temp should be exactly 0, got %v", got)
+	}
+}
+
+func TestWriteVsTotalTemperature(t *testing.T) {
+	tr := New(iv)
+	tr.RecordWrite(1, 2, 0)
+	tr.RecordRead(1, 5, 0)
+	snap := tr.Query(1, 0)
+	if snap.WriteTemp != 2 {
+		t.Fatalf("write temp %v", snap.WriteTemp)
+	}
+	if snap.TotalTemp != 7 {
+		t.Fatalf("total temp %v", snap.TotalTemp)
+	}
+	if snap.CumWrites != 2 || snap.CumReads != 5 {
+		t.Fatalf("cumulative: %v/%v", snap.CumWrites, snap.CumReads)
+	}
+}
+
+func TestWindowWrites(t *testing.T) {
+	tr := New(iv)
+	tr.RecordWrite(1, 4, 0)
+	tr.RecordWrite(1, 6, iv)
+	if got := tr.Query(1, iv).WinWrites; got != 10 {
+		t.Fatalf("window writes %v", got)
+	}
+	tr.ResetWindow()
+	if got := tr.Query(1, iv).WinWrites; got != 0 {
+		t.Fatalf("window writes after reset %v", got)
+	}
+	// Cumulative counter unaffected by window reset.
+	if got := tr.Query(1, iv).CumWrites; got != 10 {
+		t.Fatalf("cumulative writes after reset %v", got)
+	}
+}
+
+func TestUnknownObjectIsZero(t *testing.T) {
+	tr := New(iv)
+	snap := tr.Query(99, 5*iv)
+	if snap.WriteTemp != 0 || snap.TotalTemp != 0 || snap.WinWrites != 0 {
+		t.Fatalf("unknown object: %+v", snap)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("Query must not materialise entries")
+	}
+}
+
+func TestForget(t *testing.T) {
+	tr := New(iv)
+	tr.RecordWrite(1, 1, 0)
+	tr.Forget(1)
+	if tr.Len() != 0 {
+		t.Fatal("Forget should drop the entry")
+	}
+}
+
+func TestExportImportCarriesHistory(t *testing.T) {
+	src, dst := New(iv), New(iv)
+	src.RecordWrite(1, 8, 0)
+	src.RecordRead(1, 4, 0)
+	now := 2 * iv
+	snap, ok := src.Export(1, now)
+	if !ok {
+		t.Fatal("Export of known object failed")
+	}
+	if src.Len() != 0 {
+		t.Fatal("Export should remove the source entry")
+	}
+	dst.Import(snap, now)
+	got := dst.Query(1, now)
+	// T_1 = 8 writes (12 total), one further idle boundary halves:
+	// T_2 = 4 writes, 6 total.
+	if math.Abs(got.WriteTemp-4) > 1e-9 || math.Abs(got.TotalTemp-6) > 1e-9 {
+		t.Fatalf("imported temps: %+v", got)
+	}
+	if got.CumWrites != 8 || got.CumReads != 4 {
+		t.Fatalf("imported cumulative: %+v", got)
+	}
+	// Further decay continues on the destination.
+	if g := dst.Query(1, 3*iv).WriteTemp; math.Abs(g-2) > 1e-9 {
+		t.Fatalf("post-import decay: %v", g)
+	}
+}
+
+func TestExportUnknown(t *testing.T) {
+	tr := New(iv)
+	if _, ok := tr.Export(5, 0); ok {
+		t.Fatal("Export of unknown object should report false")
+	}
+}
+
+func TestAllReturnsEverything(t *testing.T) {
+	tr := New(iv)
+	tr.RecordWrite(1, 1, 0)
+	tr.RecordRead(2, 1, 0)
+	tr.RecordWrite(3, 1, 0)
+	all := tr.All(0)
+	if len(all) != 3 {
+		t.Fatalf("All returned %d", len(all))
+	}
+	seen := map[ObjectID]bool{}
+	for _, s := range all {
+		seen[s.ID] = true
+	}
+	for _, id := range []ObjectID{1, 2, 3} {
+		if !seen[id] {
+			t.Fatalf("missing object %d", id)
+		}
+	}
+}
+
+func TestHotterObjectRanksHigher(t *testing.T) {
+	tr := New(iv)
+	// Object 1: heavily written long ago. Object 2: modestly written
+	// recently. Temporal decay must rank 2 above 1 eventually.
+	tr.RecordWrite(1, 100, 0)
+	tr.RecordWrite(2, 10, 8*iv)
+	now := 8 * iv
+	s1, s2 := tr.Query(1, now), tr.Query(2, now)
+	if s2.WriteTemp <= s1.WriteTemp {
+		t.Fatalf("recency should beat stale volume: old=%v new=%v", s1.WriteTemp, s2.WriteTemp)
+	}
+}
+
+func TestIntervalValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive interval must panic")
+		}
+	}()
+	New(0)
+}
+
+func TestDefaultIntervalIsOneMinute(t *testing.T) {
+	if DefaultInterval != sim.Minute {
+		t.Fatalf("paper cadence is one minute, got %v", DefaultInterval)
+	}
+}
