@@ -19,6 +19,7 @@ import (
 	"edm/internal/flash"
 	"edm/internal/migration"
 	"edm/internal/rng"
+	"edm/internal/telemetry"
 	"edm/internal/temperature"
 	"edm/internal/trace"
 	"edm/internal/wear"
@@ -214,5 +215,58 @@ func BenchmarkClusterReplay(b *testing.B) {
 		if _, err := cl.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchReplay runs one 16-OSD midpoint-HDF replay with the given
+// telemetry configuration; the telemetry benchmarks below compare its
+// cost across recorder configurations.
+func benchReplay(b *testing.B, tr *trace.Trace, rec telemetry.Recorder) {
+	b.Helper()
+	cfg := cluster.Config{
+		OSDs: 16, WarmupDisabled: true, Seed: 9,
+		Migration: cluster.MigrateMidpoint,
+		Recorder:  rec,
+	}
+	cl, err := cluster.New(cfg, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl.SetPlanner(migration.NewHDF(migration.DefaultConfig()))
+	if _, err := cl.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	p, _ := trace.LookupProfile("home02")
+	p = p.Scaled(200)
+	tr, err := trace.Generate(p, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTelemetryDisabled is the zero-overhead-when-disabled
+// baseline: a nil Recorder, so every instrumented hot path pays exactly
+// one nil-check per event site. Compare against BenchmarkTelemetryEnabled
+// to see the cost of full event collection.
+func BenchmarkTelemetryDisabled(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchReplay(b, tr, nil)
+	}
+}
+
+// BenchmarkTelemetryEnabled runs the same replay with a ClassAll Tracer
+// collecting every event.
+func BenchmarkTelemetryEnabled(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchReplay(b, tr, telemetry.NewTracer(telemetry.ClassAll))
 	}
 }

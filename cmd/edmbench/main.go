@@ -16,11 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"time"
 
 	"edm/internal/experiment"
+	"edm/internal/sim"
+	"edm/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +32,10 @@ func main() {
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
 		osds     = flag.String("osds", "16,20", "comma-separated cluster sizes for the matrix experiments")
 		lambda   = flag.Float64("lambda", 0.1, "wear-imbalance trigger threshold λ")
+
+		telemetryDir    = flag.String("telemetry-dir", "", "write per-run event logs, snapshot CSVs and Chrome traces here")
+		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
+		telemetrySample = flag.Float64("telemetry-sample", 30, "metric snapshot interval in virtual seconds")
 	)
 	flag.Parse()
 
@@ -39,25 +44,27 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallel,
 		Lambda:      *lambda,
+		Telemetry: telemetry.SinkConfig{
+			Dir:    *telemetryDir,
+			Events: *telemetryEvents,
+			Sample: sim.Time(*telemetrySample * float64(sim.Second)),
+		},
 	}
-	for _, s := range strings.Split(*osds, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || n <= 0 {
-			fatalf("bad -osds value %q", s)
+	if opts.Telemetry.Enabled() {
+		// Reject a bad class filter before spending minutes simulating.
+		if _, err := telemetry.ParseClasses(*telemetryEvents); err != nil {
+			fatalf("%v", err)
 		}
-		opts.OSDCounts = append(opts.OSDCounts, n)
 	}
+	counts, err := parseOSDCounts(*osds)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts.OSDCounts = counts
 
-	want := map[string]bool{}
-	for _, e := range strings.Split(*exp, ",") {
-		e = strings.TrimSpace(strings.ToLower(e))
-		if e == "all" {
-			for _, k := range []string{"table1", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "ablation", "reliability"} {
-				want[k] = true
-			}
-			continue
-		}
-		want[e] = true
+	want, err := parseExperiments(*exp)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	start := time.Now()

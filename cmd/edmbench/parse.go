@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// experimentNames lists the valid -exp values in run order.
+var experimentNames = []string{
+	"table1", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
+	"ablation", "reliability",
+}
+
+// parseExperiments expands the comma-separated -exp flag into the
+// requested experiment set, rejecting unknown names upfront (before any
+// simulation time is spent) with an error naming every valid option.
+func parseExperiments(s string) (map[string]bool, error) {
+	want := map[string]bool{}
+	for _, e := range strings.Split(s, ",") {
+		e = strings.TrimSpace(strings.ToLower(e))
+		if e == "" {
+			continue
+		}
+		if e == "all" {
+			for _, k := range experimentNames {
+				want[k] = true
+			}
+			continue
+		}
+		known := false
+		for _, k := range experimentNames {
+			if e == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s, all)",
+				e, strings.Join(experimentNames, ", "))
+		}
+		want[e] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("no experiments selected (valid: %s, all)",
+			strings.Join(experimentNames, ", "))
+	}
+	return want, nil
+}
+
+// parseOSDCounts parses the comma-separated -osds list of cluster sizes.
+func parseOSDCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -osds value %q (want a comma-separated list of positive cluster sizes, e.g. 16,20)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

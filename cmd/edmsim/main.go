@@ -14,10 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"edm"
-	"edm/internal/cluster"
 	"edm/internal/metrics"
+	"edm/internal/sim"
+	"edm/internal/telemetry"
 	"edm/internal/trace"
 )
 
@@ -36,21 +38,22 @@ func main() {
 		series    = flag.Bool("series", false, "print the response-time series (Fig. 7 view)")
 		perOSD    = flag.Bool("per-osd", false, "print per-OSD erase counts, write pages and utilizations")
 		jsonOut   = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
+
+		telemetryDir    = flag.String("telemetry-dir", "", "write events.ndjson, snapshots.csv and trace.json (chrome://tracing) here")
+		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
+		telemetrySample = flag.Float64("telemetry-sample", 30, "metric snapshot interval in virtual seconds")
 	)
 	flag.Parse()
 
-	var policy edm.Policy
-	switch *policyStr {
-	case "baseline":
-		policy = edm.PolicyBaseline
-	case "cmt":
-		policy = edm.PolicyCMT
-	case "hdf":
-		policy = edm.PolicyHDF
-	case "cdf":
-		policy = edm.PolicyCDF
-	default:
-		fatalf("unknown policy %q", *policyStr)
+	policy, err := parsePolicy(*policyStr)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *traceFile == "" {
+		if err := validateWorkload(*workload); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	spec := edm.Spec{
@@ -63,16 +66,27 @@ func main() {
 		Seed:           *seed,
 		Lambda:         *lambda,
 	}
-	switch *migration {
-	case "":
-	case "never":
-		spec.Migration, spec.MigrationSet = cluster.MigrateNever, true
-	case "midpoint":
-		spec.Migration, spec.MigrationSet = cluster.MigrateMidpoint, true
-	case "periodic":
-		spec.Migration, spec.MigrationSet = cluster.MigratePeriodic, true
-	default:
-		fatalf("unknown migration mode %q", *migration)
+	mode, modeSet, err := parseMigrationMode(*migration)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if modeSet {
+		spec.Migration, spec.MigrationSet = mode, true
+	}
+
+	sinkCfg := telemetry.SinkConfig{
+		Dir:    *telemetryDir,
+		Events: *telemetryEvents,
+		Sample: sim.Time(*telemetrySample * float64(sim.Second)),
+	}
+	sink, err := sinkCfg.NewSink("")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if sink != nil {
+		spec.Cluster.Recorder = sink.Tracer
+		spec.Cluster.Metrics = sink.Registry
+		spec.Cluster.SampleInterval = sinkCfg.Sample
 	}
 
 	if *traceFile != "" {
@@ -91,6 +105,13 @@ func main() {
 	res, err := edm.Run(spec)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: %d events -> %s\n",
+			sink.Tracer.Len(), strings.Join(sink.Files(), ", "))
 	}
 
 	if *jsonOut {

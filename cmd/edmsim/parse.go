@@ -1,0 +1,61 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"edm"
+	"edm/internal/cluster"
+	"edm/internal/trace"
+)
+
+// policyNames lists the valid -policy values in presentation order.
+var policyNames = []string{"baseline", "cmt", "hdf", "cdf"}
+
+// parsePolicy maps the -policy flag to a library policy. Unknown values
+// yield an error naming every valid option.
+func parsePolicy(s string) (edm.Policy, error) {
+	switch s {
+	case "baseline":
+		return edm.PolicyBaseline, nil
+	case "cmt":
+		return edm.PolicyCMT, nil
+	case "hdf":
+		return edm.PolicyHDF, nil
+	case "cdf":
+		return edm.PolicyCDF, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (valid: %s)", s, strings.Join(policyNames, ", "))
+}
+
+// migrationNames lists the valid -migration values.
+var migrationNames = []string{"never", "midpoint", "periodic"}
+
+// parseMigrationMode maps the -migration flag to a controller mode. The
+// empty string means "not set" (set=false); unknown values yield an
+// error naming every valid option.
+func parseMigrationMode(s string) (mode cluster.MigrationMode, set bool, err error) {
+	switch s {
+	case "":
+		return cluster.MigrateNever, false, nil
+	case "never":
+		return cluster.MigrateNever, true, nil
+	case "midpoint":
+		return cluster.MigrateMidpoint, true, nil
+	case "periodic":
+		return cluster.MigratePeriodic, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown migration mode %q (valid: %s)", s, strings.Join(migrationNames, ", "))
+}
+
+// validateWorkload checks a -workload name against the built-in
+// profiles, naming them all on error.
+func validateWorkload(s string) error {
+	if s == "random" {
+		return nil
+	}
+	if _, ok := trace.LookupProfile(s); ok {
+		return nil
+	}
+	return fmt.Errorf("unknown workload %q (valid: %s, random)", s, strings.Join(trace.ProfileNames(), ", "))
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"edm"
+	"edm/internal/cluster"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    edm.Policy
+		wantErr bool
+	}{
+		{"baseline", edm.PolicyBaseline, false},
+		{"cmt", edm.PolicyCMT, false},
+		{"hdf", edm.PolicyHDF, false},
+		{"cdf", edm.PolicyCDF, false},
+		{"", 0, true},
+		{"HDF", 0, true},
+		{"edm-hdf", 0, true},
+		{"bogus", 0, true},
+	}
+	for _, c := range cases {
+		got, err := parsePolicy(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parsePolicy(%q): want error, got %v", c.in, got)
+			} else if !strings.Contains(err.Error(), "valid:") ||
+				!strings.Contains(err.Error(), "baseline") {
+				t.Errorf("parsePolicy(%q) error %q should list valid policies", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parsePolicy(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("parsePolicy(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseMigrationMode(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    cluster.MigrationMode
+		wantSet bool
+		wantErr bool
+	}{
+		{"", cluster.MigrateNever, false, false},
+		{"never", cluster.MigrateNever, true, false},
+		{"midpoint", cluster.MigrateMidpoint, true, false},
+		{"periodic", cluster.MigratePeriodic, true, false},
+		{"sometimes", 0, false, true},
+		{"Midpoint", 0, false, true},
+	}
+	for _, c := range cases {
+		got, set, err := parseMigrationMode(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("parseMigrationMode(%q): want error, got %v", c.in, got)
+			} else if !strings.Contains(err.Error(), "valid:") ||
+				!strings.Contains(err.Error(), "midpoint") {
+				t.Errorf("parseMigrationMode(%q) error %q should list valid modes", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseMigrationMode(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want || set != c.wantSet {
+			t.Errorf("parseMigrationMode(%q) = (%v, %v), want (%v, %v)",
+				c.in, got, set, c.want, c.wantSet)
+		}
+	}
+}
+
+func TestValidateWorkload(t *testing.T) {
+	for _, ok := range []string{"home02", "deasna", "lair62b", "random"} {
+		if err := validateWorkload(ok); err != nil {
+			t.Errorf("validateWorkload(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "home99", "HOME02", "web"} {
+		err := validateWorkload(bad)
+		if err == nil {
+			t.Errorf("validateWorkload(%q): want error", bad)
+			continue
+		}
+		if !strings.Contains(err.Error(), "valid:") ||
+			!strings.Contains(err.Error(), "home02") ||
+			!strings.Contains(err.Error(), "random") {
+			t.Errorf("validateWorkload(%q) error %q should list the built-in workloads", bad, err)
+		}
+	}
+}

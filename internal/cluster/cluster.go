@@ -12,6 +12,7 @@ import (
 	"edm/internal/remap"
 	"edm/internal/rng"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 	"edm/internal/temperature"
 	"edm/internal/trace"
 )
@@ -60,6 +61,11 @@ type Cluster struct {
 	planner    migration.Planner
 	migrating  bool
 	wearTicker *sim.Ticker
+
+	// Telemetry (nil/zero when disabled — the hot paths nil-check).
+	rec      telemetry.Recorder
+	parked   *telemetry.Counter
+	respHist *telemetry.Histogram
 
 	// HDF blocking (§V.D): requests whose target object is locked by an
 	// in-flight move park on a wait list until the move commits.
@@ -152,7 +158,59 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 	for _, o := range c.osds {
 		o.SSD.ResetStats()
 	}
+	// Telemetry attaches after warm-up so the event log and metric
+	// columns describe the measured replay only, like the wear counters.
+	c.rec = cfg.Recorder
+	if c.rec != nil {
+		for _, o := range c.osds {
+			o.SSD.SetProbe(flashProbe{c: c, osd: o.ID})
+		}
+	}
+	if cfg.Metrics != nil {
+		c.registerMetrics(cfg.Metrics)
+	}
 	return c, nil
+}
+
+// flashProbe forwards FTL-internal events to the telemetry recorder,
+// stamping the engine clock and the device id the SSD does not know.
+type flashProbe struct {
+	c   *Cluster
+	osd int
+}
+
+func (p flashProbe) OnErase(validRatio float64, moved int) {
+	p.c.rec.FlashErase(telemetry.FlashErase{
+		T: p.c.eng.Now(), OSD: p.osd, ValidRatio: validRatio, Moved: moved,
+	})
+}
+
+// registerMetrics publishes the cluster's observable state as named
+// telemetry columns. Registration order fixes the CSV column order.
+func (c *Cluster) registerMetrics(reg *telemetry.Registry) {
+	reg.Gauge("completed_ops", func(sim.Time) float64 { return float64(c.completedOps) })
+	reg.Gauge("moved_objects", func(sim.Time) float64 { return float64(len(c.moves)) })
+	reg.Gauge("remap_entries", func(sim.Time) float64 { return float64(c.remap.Stats().Entries) })
+	c.parked = reg.Counter("parked_ops")
+	c.respHist = reg.Histogram("response_s")
+	for _, o := range c.osds {
+		o := o
+		reg.Gauge(fmt.Sprintf("osd%d.erases", o.ID), func(sim.Time) float64 {
+			return float64(o.SSD.Stats().Erases)
+		})
+		reg.Gauge(fmt.Sprintf("osd%d.write_pages", o.ID), func(sim.Time) float64 {
+			return float64(o.SSD.Stats().HostPageWrites)
+		})
+		reg.Gauge(fmt.Sprintf("osd%d.util", o.ID), func(sim.Time) float64 {
+			return o.SSD.Utilization()
+		})
+		reg.Gauge(fmt.Sprintf("osd%d.backlog_ms", o.ID), func(now sim.Time) float64 {
+			if o.busyUntil <= now {
+				return 0
+			}
+			return float64(o.busyUntil-now) / float64(sim.Millisecond)
+		})
+	}
 }
 
 // Engine exposes the simulation engine (examples and tests).

@@ -17,6 +17,7 @@ import (
 	"edm/internal/flash"
 	"edm/internal/metrics"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 )
 
 // MigrationMode selects when the migration controller runs.
@@ -116,6 +117,20 @@ type Config struct {
 	// Seed drives all randomized decisions (none today — the cluster
 	// is fully deterministic — but reserved for think-time extensions).
 	Seed uint64
+
+	// Recorder receives typed telemetry events (request lifecycles,
+	// queue samples, flash erases, migration/rebuild progress, HDF
+	// waits). Nil — the default — disables event tracing; instrumented
+	// hot paths then pay exactly one nil-check per event.
+	Recorder telemetry.Recorder
+	// Metrics, when non-nil, has the cluster's counters, gauges and
+	// response histogram registered into it at construction, and is
+	// sampled on the simulation engine every SampleInterval of virtual
+	// time during Run.
+	Metrics *telemetry.Registry
+	// SampleInterval is the Metrics snapshot cadence (default 30
+	// seconds of virtual time; ignored when Metrics is nil).
+	SampleInterval sim.Time
 }
 
 func (c *Config) applyDefaults() {
@@ -151,6 +166,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.ResponseBucket == 0 {
 		c.ResponseBucket = 3 * sim.Minute
+	}
+	if c.SampleInterval == 0 {
+		c.SampleInterval = 30 * sim.Second
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"edm/internal/raid"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 	"edm/internal/trace"
 )
 
@@ -28,6 +29,9 @@ func (c *Cluster) FailOSD(osd int, at sim.Time) {
 	c.eng.At(at, func(now sim.Time) {
 		c.failed[osd] = true
 		c.failedAt = now
+		if c.rec != nil {
+			c.rec.DeviceFailure(telemetry.DeviceFailure{T: now, OSD: osd})
+		}
 	})
 }
 

@@ -3,6 +3,7 @@ package cluster
 import (
 	"edm/internal/migration"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 	"edm/internal/temperature"
 	"edm/internal/wear"
 )
@@ -26,6 +27,16 @@ func (c *Cluster) maybeMigrate(now sim.Time, force bool) {
 		o.busyAtMig = o.busyTime
 	}
 	c.moves = append(c.moves, moves...)
+	if c.rec != nil {
+		var bytes int64
+		for _, m := range moves {
+			bytes += m.Bytes
+		}
+		c.rec.MigrationPlan(telemetry.MigrationPlan{
+			T: now, Policy: c.planner.Name(), Round: c.migrations,
+			Moves: len(moves), Bytes: bytes,
+		})
+	}
 	c.executeMoves(moves, now)
 }
 
@@ -58,9 +69,10 @@ func (c *Cluster) planWith(snap *migration.Snapshot, force bool) []migration.Mov
 func (c *Cluster) Snapshot(now sim.Time) *migration.Snapshot {
 	np := c.osds[0].SSD.Config().PagesPerBlock
 	snap := &migration.Snapshot{
-		Now:    now,
-		Model:  wear.NewModel(np, wear.DefaultSigma),
-		Layout: c.layout,
+		Now:      now,
+		Model:    wear.NewModel(np, wear.DefaultSigma),
+		Layout:   c.layout,
+		Recorder: c.rec,
 	}
 	for _, o := range c.osds {
 		if c.failed[o.ID] {
@@ -125,6 +137,11 @@ func (c *Cluster) executeMoves(moves []migration.Move, now sim.Time) {
 			if remaining == 0 {
 				c.migrating = false
 				c.migEnd = c.eng.Now()
+				if c.rec != nil {
+					c.rec.MigrationRoundEnd(telemetry.MigrationRoundEnd{
+						T: c.migEnd, Round: c.migrations, Moved: len(moves),
+					})
+				}
 				// A fresh balancing window starts after the round.
 				for _, o := range c.osds {
 					o.Tracker.ResetWindow()
@@ -181,6 +198,12 @@ func (c *Cluster) moveObject(m migration.Move, now sim.Time, blocks bool, done f
 		c.rejected++
 		abort(now)
 		return
+	}
+	if c.rec != nil {
+		c.rec.ObjectMoveStart(telemetry.ObjectMoveStart{
+			T: now, Obj: int64(m.Obj), Src: m.Src, Dst: m.Dst,
+			Bytes: size, Locks: blocks,
+		})
 	}
 
 	var step func(off int64, at sim.Time)
@@ -240,6 +263,11 @@ func (c *Cluster) commitMove(m migration.Move, size int64, at sim.Time, blocks b
 		dst.Tracker.Import(snap, at)
 	}
 	c.remap.Record(m.Obj, c.objectHome(m.Obj), m.Dst)
+	if c.rec != nil {
+		c.rec.ObjectMoveCommit(telemetry.ObjectMoveCommit{
+			T: at, Obj: int64(m.Obj), Src: m.Src, Dst: m.Dst, Bytes: size,
+		})
+	}
 	if blocks {
 		c.unlockObject(m.Obj, at)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"edm/internal/object"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 	"edm/internal/temperature"
 	"edm/internal/trace"
 )
@@ -38,6 +39,10 @@ func (c *Cluster) startRebuild(failedOSD int, now sim.Time) {
 	// The object directory survives the device (it lives at the MDS);
 	// the data does not.
 	lost := c.osds[failedOSD].Store.IDs()
+	if c.rec != nil {
+		c.rec.RebuildStart(telemetry.RebuildStart{T: now, OSD: failedOSD, Objects: len(lost)})
+	}
+	rebuiltBase, unrebuildableBase := c.rebuilt, c.unrebuildable
 
 	// Surviving group peers, by §III.D the only legal destinations.
 	var peers []int
@@ -48,6 +53,9 @@ func (c *Cluster) startRebuild(failedOSD int, now sim.Time) {
 	}
 	if len(peers) == 0 || len(lost) == 0 {
 		c.rebuildEnd = now
+		if c.rec != nil {
+			c.rec.RebuildEnd(telemetry.RebuildEnd{T: now, OSD: failedOSD})
+		}
 		return
 	}
 
@@ -57,6 +65,13 @@ func (c *Cluster) startRebuild(failedOSD int, now sim.Time) {
 	step = func(i, peerIdx int, at sim.Time) {
 		if i >= len(lost) {
 			c.rebuildEnd = at
+			if c.rec != nil {
+				c.rec.RebuildEnd(telemetry.RebuildEnd{
+					T: at, OSD: failedOSD,
+					Rebuilt:       c.rebuilt - rebuiltBase,
+					Unrebuildable: c.unrebuildable - unrebuildableBase,
+				})
+			}
 			return
 		}
 		obj := lost[i]
@@ -122,6 +137,11 @@ func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time,
 			c.remap.Record(obj, c.objectHome(obj), dst)
 			c.rebuilt++
 			c.rebuiltBytes += size
+			if c.rec != nil {
+				c.rec.RebuildObject(telemetry.RebuildObject{
+					T: at, Obj: int64(obj), From: failedOSD, To: dst, Bytes: size,
+				})
+			}
 			done(at)
 			return
 		}

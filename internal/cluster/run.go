@@ -7,6 +7,7 @@ import (
 	"edm/internal/object"
 	"edm/internal/raid"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 	"edm/internal/temperature"
 	"edm/internal/trace"
 )
@@ -30,6 +31,7 @@ type pendingOp struct {
 	rec    trace.Record
 	issued sim.Time
 	st     *stream
+	parked bool // parked on an HDF lock at least once
 }
 
 // Result summarises one replay.
@@ -128,6 +130,11 @@ func (c *Cluster) Run() (*Result, error) {
 			c.maybeMigrate(now, false)
 		})
 	}
+	if c.cfg.Metrics != nil {
+		// Periodic metric snapshots on the engine clock, stopped with
+		// the wear ticker when the last operation completes.
+		c.cfg.Metrics.StartSampling(c.eng, c.cfg.SampleInterval)
+	}
 
 	if c.cfg.OpenLoopRate > 0 {
 		// Open loop: records arrive on a fixed schedule in trace order.
@@ -167,14 +174,35 @@ func (c *Cluster) issueNext(cl *stream, now sim.Time) {
 func (c *Cluster) startOp(p pendingOp, now sim.Time) {
 	if obj, blocked := c.blockedObject(p.rec); blocked {
 		c.blockedSubOps++
+		p.parked = true
+		if c.parked != nil {
+			c.parked.Inc()
+		}
+		if c.rec != nil {
+			c.rec.WaitPark(telemetry.WaitPark{T: now, Obj: int64(obj), User: int(p.rec.User)})
+		}
 		c.waiters[obj] = append(c.waiters[obj], p)
 		return
+	}
+	if c.rec != nil {
+		c.rec.RequestStart(telemetry.RequestStart{
+			T: now, User: int(p.rec.User), Op: p.rec.Kind.String(),
+			File: int64(p.rec.File), Offset: p.rec.Offset, Size: p.rec.Size,
+		})
 	}
 	done := c.execute(p.rec, now)
 	issued := p.issued
 	st := p.st
+	rec := p.rec
+	wasParked := p.parked
 	c.eng.At(done, func(at sim.Time) {
 		c.opCompleted(issued, at)
+		if c.rec != nil {
+			c.rec.RequestComplete(telemetry.RequestComplete{
+				T: at, Issued: issued, User: int(rec.User), Op: rec.Kind.String(),
+				File: int64(rec.File), Blocked: wasParked,
+			})
+		}
 		if st != nil {
 			c.issueNext(st, at)
 		}
@@ -213,6 +241,9 @@ func (c *Cluster) unlockObject(id object.ID, at sim.Time) {
 	delete(c.locked, id)
 	parked := c.waiters[id]
 	delete(c.waiters, id)
+	if c.rec != nil {
+		c.rec.WaitResume(telemetry.WaitResume{T: at, Obj: int64(id), Resumed: len(parked)})
+	}
 	for _, p := range parked {
 		c.startOp(p, at) // may re-park on another locked object
 	}
@@ -223,6 +254,9 @@ func (c *Cluster) opCompleted(issued, done sim.Time) {
 	rt := (done - issued).Seconds()
 	c.respAll.Observe(rt)
 	c.respSeries.Observe(done.Seconds(), rt)
+	if c.respHist != nil {
+		c.respHist.Observe(rt)
+	}
 	if c.migrating {
 		c.respMigr.Observe(rt)
 	}
@@ -231,8 +265,13 @@ func (c *Cluster) opCompleted(issued, done sim.Time) {
 		c.migrateAfter = 0
 		c.maybeMigrate(done, true)
 	}
-	if c.completedOps == c.totalOps && c.wearTicker != nil {
-		c.wearTicker.Stop()
+	if c.completedOps == c.totalOps {
+		if c.wearTicker != nil {
+			c.wearTicker.Stop()
+		}
+		if c.cfg.Metrics != nil {
+			c.cfg.Metrics.StopSampling()
+		}
 	}
 }
 
@@ -323,6 +362,11 @@ func (c *Cluster) subOp(id object.ID, accs []raid.Access, now sim.Time) sim.Time
 				c.rejected++
 			} else {
 				osd.Tracker.RecordWrite(temperature.ObjectID(id), int(pagesOf(a.Length, ps)), now)
+				if c.rec != nil {
+					c.rec.FlashWrite(telemetry.FlashWrite{
+						T: now, OSD: osd.ID, Obj: int64(id), Pages: pagesOf(a.Length, ps),
+					})
+				}
 			}
 		}
 	}
@@ -332,6 +376,11 @@ func (c *Cluster) subOp(id object.ID, accs []raid.Access, now sim.Time) sim.Time
 	osd.subOps++
 	osd.busyTime += c.cfg.NetOverhead + dev
 	osd.load.Observe((doneAt - now).Seconds())
+	if c.rec != nil {
+		c.rec.QueueSample(telemetry.QueueSample{
+			T: now, OSD: osd.ID, Backlog: doneAt - now, Wait: start - now,
+		})
+	}
 	return doneAt
 }
 
@@ -343,6 +392,11 @@ func pagesOf(bytes, pageSize int64) int64 {
 }
 
 func (c *Cluster) buildResult() *Result {
+	if c.cfg.Metrics != nil {
+		// Close the snapshot series with a final row at the makespan, so
+		// short runs (makespan < SampleInterval) still export state.
+		c.cfg.Metrics.Sample(c.eng.Now())
+	}
 	res := &Result{
 		Policy:    c.policyName(),
 		Trace:     c.tr.Name,

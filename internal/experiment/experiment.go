@@ -19,6 +19,7 @@ import (
 
 	"edm/internal/cluster"
 	"edm/internal/metrics"
+	"edm/internal/telemetry"
 	"edm/internal/trace"
 )
 
@@ -54,6 +55,17 @@ type Options struct {
 	Traces []string
 	// Lambda is the trigger threshold (default 0.1).
 	Lambda float64
+
+	// Telemetry, when enabled, makes every simulation the experiments
+	// launch through the shared runner write its event log, snapshot
+	// CSV and Chrome trace into Telemetry.Dir, one file set per
+	// (experiment, trace, OSDs, policy) run.
+	Telemetry telemetry.SinkConfig
+
+	// expLabel prefixes telemetry file names so experiments that replay
+	// the same (trace, OSDs, policy) cell with different tweaks (fig1,
+	// fig7, the matrix) do not overwrite each other's files.
+	expLabel string
 }
 
 func (o Options) withDefaults() Options {
@@ -109,6 +121,7 @@ type Cell struct {
 // same runs, exactly as in the paper.
 func Matrix(opts Options) []Cell {
 	opts = opts.withDefaults()
+	opts.expLabel = "matrix"
 	var cells []Cell
 	for _, tr := range opts.Traces {
 		for _, n := range opts.OSDCounts {

@@ -97,6 +97,7 @@ type Fig1Result struct {
 // Fig1 replays home02, deasna and lair62 on the baseline cluster.
 func Fig1(opts Options) (*Fig1Result, error) {
 	opts = opts.withDefaults()
+	opts.expLabel = "fig1"
 	traces := []string{"home02", "deasna", "lair62"}
 	res := &Fig1Result{OSDs: 8, Series: make([]Fig1Series, len(traces))}
 	jobs := make([]func(), len(traces))
@@ -292,6 +293,7 @@ type Fig7Result struct {
 // Fig7 replays home02, deasna and lair62 under baseline, HDF and CDF.
 func Fig7(opts Options) (*Fig7Result, error) {
 	opts = opts.withDefaults()
+	opts.expLabel = "fig7"
 	traces := []string{"home02", "deasna", "lair62"}
 	policies := []Policy{Baseline, HDF, CDF}
 	res := &Fig7Result{OSDs: 16}

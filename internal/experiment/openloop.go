@@ -37,6 +37,7 @@ type OpenLoopResult struct {
 // fractions of the closed-loop baseline capacity.
 func AblationOpenLoop(opts Options) (*OpenLoopResult, error) {
 	opts = opts.withDefaults()
+	opts.expLabel = "openloop"
 	res := &OpenLoopResult{Trace: "home02", OSDs: 16}
 
 	base, err := runOne(res.Trace, res.OSDs, Baseline, opts)

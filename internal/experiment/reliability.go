@@ -53,6 +53,7 @@ type ReliabilityRow struct {
 // uniform-group, staggered-group and Diff-RAID reliability structures.
 func Reliability(opts Options) (*ReliabilityResult, error) {
 	opts = opts.withDefaults()
+	opts.expLabel = "reliability"
 	res := &ReliabilityResult{
 		Trace:       "home02",
 		OSDs:        opts.OSDCounts[0],

@@ -62,6 +62,15 @@ func runOneWith(name string, osds int, p Policy, opts Options, tweak func(*clust
 	if tweak != nil {
 		tweak(&cfg)
 	}
+	sink, err := opts.Telemetry.NewSink(runLabel(opts.expLabel, name, osds, p))
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		cfg.Recorder = sink.Tracer
+		cfg.Metrics = sink.Registry
+		cfg.SampleInterval = opts.Telemetry.Sample
+	}
 	cl, err := cluster.New(cfg, tr)
 	if err != nil {
 		return nil, err
@@ -69,5 +78,23 @@ func runOneWith(name string, osds int, p Policy, opts Options, tweak func(*clust
 	if planner := plannerFor(p, opts); planner != nil {
 		cl.SetPlanner(planner)
 	}
-	return cl.Run()
+	res, err := cl.Run()
+	if err != nil {
+		return nil, err
+	}
+	if sink != nil {
+		if err := sink.Flush(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// runLabel names one run's telemetry file set uniquely within an
+// edmbench invocation: experiment, trace, cluster size, policy.
+func runLabel(exp, trace string, osds int, p Policy) string {
+	if exp == "" {
+		exp = "run"
+	}
+	return fmt.Sprintf("%s.%s.%d.%s", exp, trace, osds, string(p))
 }

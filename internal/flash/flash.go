@@ -189,6 +189,21 @@ func (s Stats) WriteAmplification() float64 {
 	return float64(s.HostPageWrites+s.GCPageMoves) / float64(s.HostPageWrites)
 }
 
+// Probe observes FTL-internal events the host-facing API hides. The SSD
+// has no notion of virtual time or device identity; the owner (the
+// cluster's OSD wiring) stamps both when forwarding to the telemetry
+// layer. A nil probe — the default — costs one nil-check per
+// collection.
+type Probe interface {
+	// OnErase fires once per garbage-collection victim, after the
+	// block is erased, with the victim's valid-page ratio (the measured
+	// u_r sample) and the number of valid pages relocated.
+	OnErase(validRatio float64, moved int)
+}
+
+// SetProbe installs (or, with nil, removes) the FTL probe.
+func (s *SSD) SetProbe(p Probe) { s.probe = p }
+
 const (
 	invalidPPA = int64(-1)
 	unmapped   = int64(-1)
@@ -228,6 +243,7 @@ type SSD struct {
 	livePages int64
 	opClock   uint64 // monotonically increasing program counter
 	stats     Stats
+	probe     Probe
 }
 
 // New constructs an SSD. The logical address space equals the physical
@@ -482,7 +498,8 @@ func (s *SSD) collectOne() (sim.Time, bool) {
 	s.bucketRemove(victim)
 
 	valid := b.validCount
-	s.stats.victimValidSum += float64(valid) / float64(s.cfg.PagesPerBlock)
+	validRatio := float64(valid) / float64(s.cfg.PagesPerBlock)
+	s.stats.victimValidSum += validRatio
 
 	lat := sim.Time(0)
 	if valid > 0 {
@@ -515,6 +532,9 @@ func (s *SSD) collectOne() (sim.Time, bool) {
 	s.free = append(s.free, victim)
 	s.stats.Erases++
 	lat += s.cfg.EraseLatency
+	if s.probe != nil {
+		s.probe.OnErase(validRatio, valid)
+	}
 	return lat, true
 }
 

@@ -165,6 +165,35 @@ func TestHistogramEmptyQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(7)
+	// With one sample, every quantile is that sample.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 7 {
+			t.Errorf("single-sample Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	if h.Count() != 1 || h.Mean() != 7 {
+		t.Errorf("count %d mean %v, want 1 and 7", h.Count(), h.Mean())
+	}
+}
+
+func TestHistogramAllEqualQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 42; i++ {
+		h.Observe(3.5)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 3.5 {
+			t.Errorf("all-equal Quantile(%v) = %v, want 3.5", q, got)
+		}
+	}
+	if m := h.Mean(); m != 3.5 {
+		t.Errorf("all-equal mean = %v, want 3.5", m)
+	}
+}
+
 func TestHistogramQuantileOutOfRangePanics(t *testing.T) {
 	var h Histogram
 	h.Observe(1)

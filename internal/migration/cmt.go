@@ -14,7 +14,11 @@
 // *increases* aggregate erase counts (Fig. 6).
 package migration
 
-import "math"
+import (
+	"math"
+
+	"edm/internal/telemetry"
+)
 
 // CMT is the conventional (Sorrento-based) planner.
 type CMT struct {
@@ -51,19 +55,24 @@ func (c *CMT) Plan(s *Snapshot) []Move {
 	}
 	mean := sum / float64(len(s.Devices))
 
-	if !c.Force {
+	var rsd float64
+	if mean > 0 {
 		var varSum float64
 		for _, l := range loads {
 			d := l - mean
 			varSum += d * d
 		}
-		if mean <= 0 {
-			return nil
-		}
-		rsd := math.Sqrt(varSum/float64(len(loads))) / mean
-		if rsd <= cfg.Lambda {
-			return nil
-		}
+		rsd = math.Sqrt(varSum/float64(len(loads))) / mean
+	}
+	fired := mean > 0 && rsd > cfg.Lambda
+	if s.Recorder != nil {
+		s.Recorder.MigrationTrigger(telemetry.MigrationTrigger{
+			T: s.Now, Policy: c.Name(), RSD: rsd, Lambda: cfg.Lambda,
+			Fired: fired || c.Force, Forced: c.Force && !fired,
+		})
+	}
+	if !fired && !c.Force {
+		return nil
 	}
 
 	moved := make(map[int64]bool) // object ids already claimed this round

@@ -12,6 +12,8 @@ package migration
 
 import (
 	"math"
+
+	"edm/internal/telemetry"
 )
 
 // HDF is the Hot-Data First planner.
@@ -63,6 +65,14 @@ func (c *CDF) Plan(s *Snapshot) []Move {
 func planEDM(s *Snapshot, mode Mode, cfg Config, force bool) []Move {
 	cfg.applyDefaults()
 	dec := EvaluateTrigger(s, cfg.Lambda)
+	if s.Recorder != nil {
+		s.Recorder.MigrationTrigger(telemetry.MigrationTrigger{
+			T: s.Now, Policy: "EDM-" + mode.String(),
+			RSD: dec.RSD, Lambda: cfg.Lambda,
+			Fired: dec.Fire || force, Forced: force && !dec.Fire,
+			Sources: len(dec.Sources), Dests: len(dec.Dests),
+		})
+	}
 	if !dec.Fire && !force {
 		return nil
 	}

@@ -18,6 +18,7 @@ import (
 	"edm/internal/object"
 	"edm/internal/placement"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 	"edm/internal/wear"
 )
 
@@ -60,6 +61,11 @@ type Snapshot struct {
 	Model   wear.Model
 	Layout  placement.Layout
 	Devices []DeviceState
+
+	// Recorder, when non-nil, receives a MigrationTrigger event from
+	// each planner's trigger evaluation (fired or not), so traces show
+	// why a round did or did not start.
+	Recorder telemetry.Recorder
 }
 
 // Move is one migration action: the (oid, source_id, dest_id) triple of

@@ -131,6 +131,36 @@ func TestCancelAfterFireIsNoop(t *testing.T) {
 	}
 }
 
+// TestCancelAlreadyFiredAmidPendingEvents cancels a handle whose event
+// has fired while later events are still queued: the cancel must report
+// false and must not disturb the pending events or the fired counter.
+func TestCancelAlreadyFiredAmidPendingEvents(t *testing.T) {
+	e := New()
+	var order []int
+	h1 := e.At(1, func(Time) { order = append(order, 1) })
+	e.At(2, func(now Time) {
+		order = append(order, 2)
+		// h1 fired at t=1; cancelling it mid-run is a no-op.
+		if h1.Cancel() {
+			t.Error("Cancel of an already-fired event reported true")
+		}
+		if h1.Cancel() {
+			t.Error("repeated Cancel of a fired event reported true")
+		}
+	})
+	e.At(3, func(Time) { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("event order %v, want [1 2 3]", order)
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", e.Fired())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
 func TestStepAdvancesOneEvent(t *testing.T) {
 	e := New()
 	count := 0

@@ -1,0 +1,277 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"edm/internal/sim"
+)
+
+// WriteNDJSON writes one JSON object per line per event:
+//
+//	{"kind":"request.complete","t":1234,"ev":{...}}
+//
+// Field order is fixed by the envelope and event struct definitions and
+// every value is virtual-time derived, so identical runs produce
+// byte-identical logs (the replay tests compare them with bytes.Equal).
+func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		env := struct {
+			Kind string   `json:"kind"`
+			T    sim.Time `json:"t"`
+			Ev   Event    `json:"ev"`
+		}{Kind: ev.Kind(), T: ev.Time(), Ev: ev}
+		line, err := json.Marshal(env)
+		if err != nil {
+			return fmt.Errorf("telemetry: marshalling %s event: %w", ev.Kind(), err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// formatFloat renders a float deterministically with minimal digits.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteSnapshotsCSV writes the registry's snapshot series as CSV: a
+// header of "t_seconds" plus the metric names in registration order,
+// then one row per sampling instant.
+func WriteSnapshotsCSV(w io.Writer, reg *Registry) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "t_seconds")
+	for _, n := range reg.Names() {
+		fmt.Fprintf(bw, ",%s", n)
+	}
+	fmt.Fprintln(bw)
+	for _, row := range reg.Rows() {
+		fmt.Fprint(bw, formatFloat(row.T.Seconds()))
+		for _, v := range row.Values {
+			fmt.Fprintf(bw, ",%s", formatFloat(v))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Chrome trace_event export. The format is the JSON object form
+// ({"traceEvents":[...]}) of the Trace Event Format, loadable in
+// chrome://tracing and Perfetto. Timestamps are microseconds of virtual
+// time.
+//
+// Track layout (pid 1 = the simulated cluster):
+//
+//	tid 1            cluster-wide instants (triggers, plans, failures)
+//	tid 2            migration object moves (one X slice per object)
+//	tid 3            HDF wait-list parks (one X slice per parked request)
+//	tid 10+i         OSD i: queue-backlog counter + GC erase instants
+//	tid 1000+u       user u's file operations (X slices, dur = response)
+const (
+	chromeTidCluster   = 1
+	chromeTidMigration = 2
+	chromeTidWait      = 3
+	chromeTidOSDBase   = 10
+	chromeTidUserBase  = 1000
+)
+
+// chromeEvent is one trace_event row. Args is marshalled as given;
+// callers pass small ordered structs, never maps, to keep bytes stable.
+type chromeEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	Ph   string `json:"ph"`
+	Ts   jsonUS `json:"ts"`
+	Dur  jsonUS `json:"dur,omitempty"`
+	Pid  int    `json:"pid"`
+	Tid  int    `json:"tid"`
+	Args any    `json:"args,omitempty"`
+}
+
+// jsonUS renders a virtual time as microseconds with sub-µs precision.
+type jsonUS sim.Time
+
+func (t jsonUS) MarshalJSON() ([]byte, error) {
+	return []byte(formatFloat(float64(t) / float64(sim.Microsecond))), nil
+}
+
+// WriteChromeTrace converts the event log into a Chrome trace_event
+// JSON document. Open the output in chrome://tracing or
+// https://ui.perfetto.dev to see request slices, migration windows, HDF
+// wait parks and per-OSD erase/backlog tracks on one timeline.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	var out []chromeEvent
+
+	// Pair move start/commit and park/resume events into duration
+	// slices. Unpaired starts (aborted moves, still-parked requests at
+	// run end) degrade to instants.
+	moveStart := make(map[int64]ObjectMoveStart)
+	parked := make(map[int64][]WaitPark)
+	usedOSD := make(map[int]bool)
+	usedUser := make(map[int]bool)
+	eraseCount := make(map[int]int)
+
+	for _, ev := range events {
+		switch e := ev.(type) {
+		case RequestComplete:
+			usedUser[e.User] = true
+			out = append(out, chromeEvent{
+				Name: "op " + e.Op, Cat: "request", Ph: "X",
+				Ts: jsonUS(e.Issued), Dur: jsonUS(e.T - e.Issued),
+				Pid: 1, Tid: chromeTidUserBase + e.User,
+				Args: struct {
+					File    int64 `json:"file"`
+					Blocked bool  `json:"blocked"`
+				}{e.File, e.Blocked},
+			})
+		case QueueSample:
+			usedOSD[e.OSD] = true
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("osd%d backlog", e.OSD), Cat: "queue", Ph: "C",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidOSDBase + e.OSD,
+				Args: struct {
+					Ms float64 `json:"ms"`
+				}{float64(e.Backlog) / float64(sim.Millisecond)},
+			})
+		case FlashErase:
+			usedOSD[e.OSD] = true
+			eraseCount[e.OSD]++
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("osd%d erases", e.OSD), Cat: "flash", Ph: "C",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidOSDBase + e.OSD,
+				Args: struct {
+					Erases int `json:"erases"`
+				}{eraseCount[e.OSD]},
+			})
+		case MigrationTrigger:
+			out = append(out, chromeEvent{
+				Name: "trigger " + e.Policy, Cat: "migration", Ph: "i",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidCluster,
+				Args: struct {
+					RSD    float64 `json:"rsd"`
+					Lambda float64 `json:"lambda"`
+					Fired  bool    `json:"fired"`
+					Forced bool    `json:"forced"`
+				}{e.RSD, e.Lambda, e.Fired, e.Forced},
+			})
+		case MigrationPlan:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("plan %s round %d", e.Policy, e.Round),
+				Cat:  "migration", Ph: "i",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidCluster,
+				Args: struct {
+					Moves int   `json:"moves"`
+					Bytes int64 `json:"bytes"`
+				}{e.Moves, e.Bytes},
+			})
+		case ObjectMoveStart:
+			moveStart[e.Obj] = e
+		case ObjectMoveCommit:
+			st, ok := moveStart[e.Obj]
+			if !ok {
+				continue
+			}
+			delete(moveStart, e.Obj)
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("move obj %d: osd%d→osd%d", e.Obj, e.Src, e.Dst),
+				Cat:  "migration", Ph: "X",
+				Ts: jsonUS(st.T), Dur: jsonUS(e.T - st.T),
+				Pid: 1, Tid: chromeTidMigration,
+				Args: struct {
+					Bytes int64 `json:"bytes"`
+					Locks bool  `json:"locks"`
+				}{e.Bytes, st.Locks},
+			})
+		case MigrationRoundEnd:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("round %d end", e.Round), Cat: "migration", Ph: "i",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidCluster,
+				Args: struct {
+					Moved int `json:"moved"`
+				}{e.Moved},
+			})
+		case WaitPark:
+			parked[e.Obj] = append(parked[e.Obj], e)
+		case WaitResume:
+			for _, p := range parked[e.Obj] {
+				out = append(out, chromeEvent{
+					Name: fmt.Sprintf("park obj %d", e.Obj), Cat: "wait", Ph: "X",
+					Ts: jsonUS(p.T), Dur: jsonUS(e.T - p.T),
+					Pid: 1, Tid: chromeTidWait,
+					Args: struct {
+						User int `json:"user"`
+					}{p.User},
+				})
+			}
+			delete(parked, e.Obj)
+		case DeviceFailure:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("osd%d FAILED", e.OSD), Cat: "failure", Ph: "i",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidCluster,
+			})
+		case RebuildStart:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("rebuild osd%d start", e.OSD), Cat: "failure", Ph: "i",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidCluster,
+				Args: struct {
+					Objects int `json:"objects"`
+				}{e.Objects},
+			})
+		case RebuildEnd:
+			out = append(out, chromeEvent{
+				Name: fmt.Sprintf("rebuild osd%d end", e.OSD), Cat: "failure", Ph: "i",
+				Ts: jsonUS(e.T), Pid: 1, Tid: chromeTidCluster,
+				Args: struct {
+					Rebuilt       int `json:"rebuilt"`
+					Unrebuildable int `json:"unrebuildable"`
+				}{e.Rebuilt, e.Unrebuildable},
+			})
+		}
+	}
+
+	// Thread-name metadata rows, in deterministic tid order.
+	meta := []chromeEvent{
+		nameThread(chromeTidCluster, "cluster"),
+		nameThread(chromeTidMigration, "migration moves"),
+		nameThread(chromeTidWait, "hdf wait-list"),
+	}
+	for _, id := range sortedKeys(usedOSD) {
+		meta = append(meta, nameThread(chromeTidOSDBase+id, fmt.Sprintf("osd %d", id)))
+	}
+	for _, u := range sortedKeys(usedUser) {
+		meta = append(meta, nameThread(chromeTidUserBase+u, fmt.Sprintf("user %d", u)))
+	}
+
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: append(meta, out...), DisplayUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+func nameThread(tid int, name string) chromeEvent {
+	return chromeEvent{
+		Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+		Args: struct {
+			Name string `json:"name"`
+		}{name},
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
+}
