@@ -7,9 +7,11 @@
 //	edmbench -exp fig5 -scale 20      # one experiment, smaller workload
 //	edmbench -exp fig1,fig6 -osds 16  # several, single cluster size
 //
-// Experiments: table1, fig1, fig3, fig5, fig6, fig7, fig8, ablation.
-// Figs. 5, 6 and 8 are projections of one shared run matrix and are
-// computed together when requested together.
+// Experiments: check, table1, fig1, fig3, fig5, fig6, fig7, fig8,
+// ablation, reliability. Figs. 5, 6 and 8 are projections of one shared
+// run matrix and are computed together when requested together. check
+// runs the golden-shape regression suite (internal/check) and exits
+// non-zero naming the first failing shape.
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"edm/internal/check"
 	"edm/internal/experiment"
 	"edm/internal/sim"
 	"edm/internal/telemetry"
@@ -26,12 +29,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: table1,fig1,fig3,fig5,fig6,fig7,fig8,ablation,reliability,all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: check,table1,fig1,fig3,fig5,fig6,fig7,fig8,ablation,reliability,all")
 		scale    = flag.Int("scale", 20, "workload scale divisor (1 = full Table I size)")
 		seed     = flag.Uint64("seed", 42, "experiment seed")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
 		osds     = flag.String("osds", "16,20", "comma-separated cluster sizes for the matrix experiments")
 		lambda   = flag.Float64("lambda", 0.1, "wear-imbalance trigger threshold λ")
+		selfchk  = flag.Bool("check", false, "run every experiment simulation with the cluster state self-check enabled")
 
 		telemetryDir    = flag.String("telemetry-dir", "", "write per-run event logs, snapshot CSVs and Chrome traces here")
 		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
@@ -44,6 +48,7 @@ func main() {
 		Seed:        *seed,
 		Parallelism: *parallel,
 		Lambda:      *lambda,
+		Check:       *selfchk,
 		Telemetry: telemetry.SinkConfig{
 			Dir:    *telemetryDir,
 			Events: *telemetryEvents,
@@ -82,6 +87,19 @@ func main() {
 		fmt.Printf("[%s took %s]\n\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
+	run("check", func() (string, error) {
+		results := check.Golden(check.GoldenOptions{
+			Scale:  *scale,
+			OSDs:   counts[0],
+			Seed:   *seed,
+			Lambda: *lambda,
+		})
+		out := check.FormatResults(results)
+		if f := check.FirstFailure(results); f != nil {
+			return "", fmt.Errorf("golden shape %s failed: %v\n%s", f.Name, f.Err, out)
+		}
+		return out, nil
+	})
 	run("table1", func() (string, error) {
 		r, err := experiment.Table1(opts)
 		if err != nil {

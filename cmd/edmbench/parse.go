@@ -8,7 +8,7 @@ import (
 
 // experimentNames lists the valid -exp values in run order.
 var experimentNames = []string{
-	"table1", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
+	"check", "table1", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
 	"ablation", "reliability",
 }
 

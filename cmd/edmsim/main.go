@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"edm"
+	"edm/internal/check"
 	"edm/internal/metrics"
 	"edm/internal/sim"
 	"edm/internal/telemetry"
@@ -35,6 +36,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		lambda    = flag.Float64("lambda", 0.1, "trigger threshold λ")
 		migration = flag.String("migration", "", "override controller mode: never | midpoint | periodic")
+		selfCheck = flag.Bool("check", false, "run with invariant checking: event-stream checker + end-of-run state audit; non-zero exit on any violation")
 		series    = flag.Bool("series", false, "print the response-time series (Fig. 7 view)")
 		perOSD    = flag.Bool("per-osd", false, "print per-OSD erase counts, write pages and utilizations")
 		jsonOut   = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
@@ -102,9 +104,36 @@ func main() {
 		spec.Trace = tr
 	}
 
-	res, err := edm.Run(spec)
-	if err != nil {
-		fatalf("%v", err)
+	// -check wraps whatever recorder is configured (possibly none) with
+	// the invariant checker and turns on the cluster's state self-check,
+	// then audits the finished run.
+	var ck *check.Checker
+	if *selfCheck {
+		ck = check.Wrap(spec.Cluster.Recorder)
+		spec.Cluster.Recorder = ck
+		spec.Cluster.SelfCheck = true
+	}
+
+	var res *edm.Result
+	if ck != nil {
+		cl, err := edm.NewCluster(spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		check.Bind(ck, cl)
+		if res, err = cl.Run(); err != nil {
+			fatalf("%v", err)
+		}
+		rep := check.Audit(cl, ck)
+		if err := rep.Err(); err != nil {
+			fatalf("%v\n%s", err, rep)
+		}
+		fmt.Fprintf(os.Stderr, "check: %s\n", rep)
+	} else {
+		var err error
+		if res, err = edm.Run(spec); err != nil {
+			fatalf("%v", err)
+		}
 	}
 	if sink != nil {
 		if err := sink.Flush(); err != nil {

@@ -94,9 +94,13 @@ type Cluster struct {
 
 	moves         []migration.Move
 	blockedSubOps uint64
-	movedPages    int64
-	movedBytes    int64
-	migrations    int
+	// movesCommitted counts migration moves that actually committed
+	// (planned moves may be skipped or aborted); together with rebuilt
+	// it must equal the remap table's Record count — an Audit invariant.
+	movesCommitted uint64
+	movedPages     int64
+	movedBytes     int64
+	migrations     int
 
 	migStart, migEnd sim.Time
 }
@@ -215,6 +219,9 @@ func (c *Cluster) registerMetrics(reg *telemetry.Registry) {
 
 // Engine exposes the simulation engine (examples and tests).
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// Config returns the cluster's configuration with defaults applied.
+func (c *Cluster) Config() Config { return c.cfg }
 
 // Layout returns the placement geometry.
 func (c *Cluster) Layout() placement.Layout { return c.layout }

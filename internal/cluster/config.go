@@ -118,6 +118,12 @@ type Config struct {
 	// is fully deterministic — but reserved for think-time extensions).
 	Seed uint64
 
+	// SelfCheck makes Run audit the cluster's conservation laws after
+	// the replay drains (see Audit) and fail with a descriptive error if
+	// any is violated. The audit walks every SSD's mapping tables, so it
+	// is meant for tests and checked reproduction runs, not benchmarks.
+	SelfCheck bool
+
 	// Recorder receives typed telemetry events (request lifecycles,
 	// queue samples, flash erases, migration/rebuild progress, HDF
 	// waits). Nil — the default — disables event tracing; instrumented

@@ -263,6 +263,7 @@ func (c *Cluster) commitMove(m migration.Move, size int64, at sim.Time, blocks b
 		dst.Tracker.Import(snap, at)
 	}
 	c.remap.Record(m.Obj, c.objectHome(m.Obj), m.Dst)
+	c.movesCommitted++
 	if c.rec != nil {
 		c.rec.ObjectMoveCommit(telemetry.ObjectMoveCommit{
 			T: at, Obj: int64(m.Obj), Src: m.Src, Dst: m.Dst, Bytes: size,

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"strings"
 
 	"edm/internal/metrics"
 	"edm/internal/object"
@@ -155,6 +156,12 @@ func (c *Cluster) Run() (*Result, error) {
 	}
 	c.eng.Run()
 
+	if c.cfg.SelfCheck {
+		if v := c.Audit(); len(v) > 0 {
+			return nil, fmt.Errorf("cluster: self-check found %d violations:\n  %s",
+				len(v), strings.Join(v, "\n  "))
+		}
+	}
 	return c.buildResult(), nil
 }
 

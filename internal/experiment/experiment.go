@@ -55,6 +55,11 @@ type Options struct {
 	Traces []string
 	// Lambda is the trigger threshold (default 0.1).
 	Lambda float64
+	// Check enables the cluster's end-of-run state self-check on every
+	// simulation the experiments launch: a run that violates a
+	// conservation law fails with a descriptive error instead of
+	// contributing silently-wrong numbers to a figure.
+	Check bool
 
 	// Telemetry, when enabled, makes every simulation the experiments
 	// launch through the shared runner write its event log, snapshot

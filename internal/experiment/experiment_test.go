@@ -266,3 +266,16 @@ func TestAblationOpenLoop(t *testing.T) {
 		t.Fatal("format incomplete")
 	}
 }
+
+// TestMatrixWithSelfCheck runs a small matrix cell set with Options.Check
+// on: every simulation must pass the cluster's end-of-run state audit.
+func TestMatrixWithSelfCheck(t *testing.T) {
+	opts := fastOpts()
+	opts.Traces = []string{"home02"}
+	opts.Check = true
+	for _, c := range Matrix(opts) {
+		if c.Err != nil {
+			t.Fatalf("%s/%d/%s failed under self-check: %v", c.Trace, c.OSDs, c.Policy, c.Err)
+		}
+	}
+}

@@ -53,6 +53,7 @@ func runOneWith(name string, osds int, p Policy, opts Options, tweak func(*clust
 		Groups:         4,
 		ObjectsPerFile: 4,
 		Seed:           opts.Seed,
+		SelfCheck:      opts.Check,
 	}
 	if p == Baseline {
 		cfg.Migration = cluster.MigrateNever

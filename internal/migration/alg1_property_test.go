@@ -1,0 +1,200 @@
+package migration
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"edm/internal/metrics"
+	"edm/internal/wear"
+)
+
+// ecAfter evaluates per-device modelled erase counts with an Alg1Result
+// applied to a planning snapshot: HDF shifts write pages at fixed
+// utilization, CDF shifts utilization at fixed write pages.
+func ecAfter(model wear.Model, devs []DeviceState, res Alg1Result) []float64 {
+	out := make([]float64, len(devs))
+	for i, d := range devs {
+		out[i] = model.EraseCount(d.WinWritePages+res.DeltaWc[i], d.Utilization+res.DeltaU[i])
+	}
+	return out
+}
+
+// TestPropertyAlg1NeverWorsensRSD is the paper's objective stated as a
+// property: Algorithm 1 must never increase the relative standard
+// deviation of the modelled erase counts, in either mode, for arbitrary
+// device states.
+func TestPropertyAlg1NeverWorsensRSD(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	cfg := DefaultConfig()
+	cfg.Steps = 200
+	for _, mode := range []Mode{ModeHDF, ModeCDF} {
+		for seed := int64(500); seed < 560; seed++ {
+			rnd := rand.New(rand.NewSource(seed))
+			n := rnd.Intn(5) + 2
+			devs := make([]DeviceState, n)
+			eligible := make([]int, n)
+			for i := range devs {
+				devs[i] = DeviceState{
+					OSD:           i,
+					WinWritePages: float64(rnd.Intn(150000) + 1),
+					Utilization:   0.55 + rnd.Float64()*0.3,
+					CapacityPages: 100000,
+				}
+				eligible[i] = i
+			}
+			before := make([]float64, n)
+			for i, d := range devs {
+				before[i] = model.EraseCount(d.WinWritePages, d.Utilization)
+			}
+			res := CalculateAmountOfDataMovement(model, devs, eligible, mode, cfg)
+			after := ecAfter(model, devs, res)
+			rsdBefore, rsdAfter := metrics.RSD(before), metrics.RSD(after)
+			if rsdAfter > rsdBefore+1e-6 {
+				t.Fatalf("%s seed %d: RSD worsened %v -> %v (deltas %+v %+v)",
+					mode, seed, rsdBefore, rsdAfter, res.DeltaWc, res.DeltaU)
+			}
+		}
+	}
+}
+
+// TestPropertyAlg1ModeDiscipline pins each mode to its own delta array
+// and to conservation: HDF redistributes write pages (sum zero, no
+// utilization change), CDF redistributes utilization (sum zero, no
+// write-page change).
+func TestPropertyAlg1ModeDiscipline(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	cfg := DefaultConfig()
+	cfg.Steps = 100
+	for seed := int64(600); seed < 620; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		n := rnd.Intn(4) + 2
+		devs := make([]DeviceState, n)
+		eligible := make([]int, n)
+		for i := range devs {
+			devs[i] = DeviceState{
+				OSD:           i,
+				WinWritePages: float64(rnd.Intn(150000) + 1),
+				Utilization:   0.55 + rnd.Float64()*0.3,
+				CapacityPages: 100000,
+			}
+			eligible[i] = i
+		}
+		for _, mode := range []Mode{ModeHDF, ModeCDF} {
+			res := CalculateAmountOfDataMovement(model, devs, eligible, mode, cfg)
+			var sumWc, sumU float64
+			for i := range devs {
+				sumWc += res.DeltaWc[i]
+				sumU += res.DeltaU[i]
+				if mode == ModeHDF && res.DeltaU[i] != 0 {
+					t.Fatalf("seed %d: HDF produced a utilization delta %v", seed, res.DeltaU[i])
+				}
+				if mode == ModeCDF && res.DeltaWc[i] != 0 {
+					t.Fatalf("seed %d: CDF produced a write-page delta %v", seed, res.DeltaWc[i])
+				}
+				if devs[i].WinWritePages+res.DeltaWc[i] < -1e-9 {
+					t.Fatalf("seed %d: device %d write pages driven negative", seed, i)
+				}
+			}
+			if math.Abs(sumWc) > 1e-6 || math.Abs(sumU) > 1e-9 {
+				t.Fatalf("%s seed %d: deltas not conserved (ΣΔwc=%v ΣΔu=%v)", mode, seed, sumWc, sumU)
+			}
+		}
+	}
+}
+
+// TestAlg1ShiftWcEpsilonBreak exercises the HDF ε-scan's crossing break
+// directly: the scan must stop at the first ε where the pair's erase
+// counts cross, not at ε's end, and one ε earlier the counts must still
+// be uncrossed (minimality of the committed shift).
+func TestAlg1ShiftWcEpsilonBreak(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+	cfg := DefaultConfig()
+	work := []alg1Device{
+		{wc: 100000, u: 0.8, ur: model.Ur(0.8)},
+		{wc: 1000, u: 0.4, ur: model.Ur(0.4)},
+	}
+	wx, urx := work[0].wc, work[0].ur
+	wy, ury := work[1].wc, work[1].ur
+	dw := alg1ShiftWc(model, work, 0, 1, cfg)
+	if dw <= 0 || dw >= wx {
+		t.Fatalf("shift %v outside (0, %v)", dw, wx)
+	}
+	if work[0].wc != wx-dw || work[1].wc != wy+dw {
+		t.Fatalf("shift not committed to working state: %+v", work)
+	}
+	// At the break point the erase counts have crossed…
+	exAfter := model.EraseCountWithUr(wx-dw, urx)
+	eyAfter := model.EraseCountWithUr(wy+dw, ury)
+	if exAfter > eyAfter {
+		t.Fatalf("scan stopped before the crossing: e_x %v still above e_y %v", exAfter, eyAfter)
+	}
+	// …and one ε step earlier they had not (the break fired at the
+	// first crossing, not some later ε).
+	prev := dw - wx*cfg.EpsilonStep
+	if prev < 0 {
+		t.Fatalf("break fired on the very first ε (dw=%v), case too degenerate", dw)
+	}
+	if model.EraseCountWithUr(wx-prev, urx) <= model.EraseCountWithUr(wy+prev, ury) {
+		t.Fatalf("counts already crossed one ε earlier — scan overshot the break")
+	}
+}
+
+// TestAlg1ShiftUEpsilonBreak exercises both exits of the CDF ε-scan: the
+// erase-count crossing break, and the §III.B.5 boundary truncation when
+// the destination's fill cap is tighter than the crossing point.
+func TestAlg1ShiftUEpsilonBreak(t *testing.T) {
+	model := wear.NewModel(32, wear.DefaultSigma)
+
+	t.Run("crossing", func(t *testing.T) {
+		cfg := DefaultConfig() // bounds [0.5, 0.9] leave ample headroom
+		work := []alg1Device{
+			{wc: 50000, u: 0.85, ur: model.Ur(0.85)},
+			{wc: 50000, u: 0.55, ur: model.Ur(0.55)},
+		}
+		ux, uy := work[0].u, work[1].u
+		maxShift := math.Min(ux-cfg.MinSourceUtilization, cfg.MaxDestUtilization-uy)
+		du := alg1ShiftU(model, work, 0, 1, cfg)
+		if du <= 0 || du >= maxShift {
+			t.Fatalf("shift %v not strictly inside (0, %v): boundary hit instead of crossing", du, maxShift)
+		}
+		if model.EraseCount(50000, ux-du) > model.EraseCount(50000, uy+du) {
+			t.Fatal("scan stopped before the erase counts crossed")
+		}
+		prev := du - ux*cfg.EpsilonStep
+		if model.EraseCount(50000, ux-prev) <= model.EraseCount(50000, uy+prev) {
+			t.Fatal("counts already crossed one ε earlier — scan overshot the break")
+		}
+		if work[0].u != ux-du || work[0].ur != model.Ur(ux-du) {
+			t.Fatalf("source u/u_r not refreshed: %+v", work[0])
+		}
+	})
+
+	t.Run("boundary truncation", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.MaxDestUtilization = 0.82 // tighter than the ~0.025 crossing shift needs
+		work := []alg1Device{
+			{wc: 50000, u: 0.85, ur: model.Ur(0.85)},
+			{wc: 50000, u: 0.80, ur: model.Ur(0.80)},
+		}
+		want := cfg.MaxDestUtilization - work[1].u
+		du := alg1ShiftU(model, work, 0, 1, cfg)
+		if du != want {
+			t.Fatalf("shift %v not truncated to the destination headroom %v", du, want)
+		}
+		if work[1].u != cfg.MaxDestUtilization {
+			t.Fatalf("destination left at u=%v, want the fill cap %v", work[1].u, cfg.MaxDestUtilization)
+		}
+	})
+
+	t.Run("no headroom", func(t *testing.T) {
+		cfg := DefaultConfig()
+		work := []alg1Device{
+			{wc: 50000, u: cfg.MinSourceUtilization, ur: model.Ur(cfg.MinSourceUtilization)},
+			{wc: 1000, u: 0.55, ur: model.Ur(0.55)},
+		}
+		if du := alg1ShiftU(model, work, 0, 1, cfg); du != 0 {
+			t.Fatalf("shift %v from a source already at the cutoff", du)
+		}
+	})
+}

@@ -117,6 +117,57 @@ func TestGroupRotateCoverage(t *testing.T) {
 	}
 }
 
+// TestGroupRotateUnequalSizeEdges pushes the §III.D unequal-size
+// configuration to its corners: size-1 groups (whose single SSD must
+// receive every object routed to the group), stripes as wide as the
+// group count (k == m, every group hit exactly once), and inodes near
+// the int64 range where modular arithmetic overflow would first show.
+func TestGroupRotateUnequalSizeEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Layout
+	}{
+		{"size-1 group", Layout{N: 8, M: 3, K: 3, Mode: ModeGroupRotate, Sizes: []int{1, 2, 5}}},
+		{"k equals m", Layout{N: 10, M: 4, K: 4, Mode: ModeGroupRotate, Sizes: []int{1, 1, 3, 5}}},
+		{"all singleton groups", Layout{N: 5, M: 5, K: 5, Mode: ModeGroupRotate, Sizes: []int{1, 1, 1, 1, 1}}},
+	}
+	inodes := []int64{0, 1, 2, 3, 7, 1000003, 1 << 40, (1 << 60) - 1, 1 << 60}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.l.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			for _, inode := range inodes {
+				homes := tc.l.Place(inode)
+				groups := map[int]bool{}
+				for idx, s := range homes {
+					if s < 0 || s >= tc.l.N {
+						t.Fatalf("inode %d object %d: home %d out of range", inode, idx, s)
+					}
+					g := tc.l.GroupOf(s)
+					if want := int((inode + int64(idx)) % int64(tc.l.M)); g != want {
+						t.Fatalf("inode %d object %d: landed in group %d, claimed group %d", inode, idx, g, want)
+					}
+					if groups[g] {
+						t.Fatalf("inode %d: two objects in group %d (stripe %v)", inode, g, homes)
+					}
+					groups[g] = true
+					// A size-1 group has no member choice: the object
+					// must sit on the group's only SSD.
+					if tc.l.GroupSize(g) == 1 {
+						if only := tc.l.GroupMembers(g)[0]; s != only {
+							t.Fatalf("inode %d: size-1 group %d placed on %d, want %d", inode, g, s, only)
+						}
+					}
+				}
+				if tc.l.K == tc.l.M && len(groups) != tc.l.M {
+					t.Fatalf("inode %d: k==m stripe covered %d of %d groups", inode, len(groups), tc.l.M)
+				}
+			}
+		})
+	}
+}
+
 func TestGroupRotateHomeInRange(t *testing.T) {
 	l := Layout{N: 18, M: 4, K: 4, Mode: ModeGroupRotate}
 	if err := l.Validate(); err != nil {

@@ -105,6 +105,83 @@ func TestMemoryBytesScalesWithEntries(t *testing.T) {
 	}
 }
 
+// TestTableEdgeCases walks the table through the awkward move sequences
+// the simulator produces over long runs — re-moving already-remapped
+// objects, bouncing home and out again — and pins the full Stats
+// breakdown after each script.
+func TestTableEdgeCases(t *testing.T) {
+	type move struct {
+		id        object.ID
+		home, dst int
+	}
+	cases := []struct {
+		name   string
+		script []move
+		want   Stats
+		lookup map[object.ID]int // expected Lookup(id, home=0) afterwards
+	}{
+		{
+			name: "override chain keeps one entry",
+			script: []move{
+				{1, 0, 3}, {1, 0, 5}, {1, 0, 2}, {1, 0, 5},
+			},
+			want:   Stats{Moves: 4, Inserts: 1, Updates: 3, Entries: 1, PeakEntries: 1},
+			lookup: map[object.ID]int{1: 5},
+		},
+		{
+			name: "remove then lookup falls back to home",
+			script: []move{
+				{1, 0, 3}, {2, 0, 4}, {1, 0, 0},
+			},
+			want:   Stats{Moves: 3, Inserts: 2, Removals: 1, Entries: 1, PeakEntries: 2},
+			lookup: map[object.ID]int{1: 0, 2: 4},
+		},
+		{
+			name: "reinsert after removal counts a fresh insert",
+			script: []move{
+				{1, 0, 3}, {1, 0, 0}, {1, 0, 6},
+			},
+			want:   Stats{Moves: 3, Inserts: 2, Removals: 1, Entries: 1, PeakEntries: 1},
+			lookup: map[object.ID]int{1: 6},
+		},
+		{
+			name: "repeated home moves only remove once",
+			script: []move{
+				{1, 0, 3}, {1, 0, 0}, {1, 0, 0},
+			},
+			want:   Stats{Moves: 3, Inserts: 1, Removals: 1, Entries: 0, PeakEntries: 1},
+			lookup: map[object.ID]int{1: 0},
+		},
+		{
+			name: "peak survives shrinking below it",
+			script: []move{
+				{1, 0, 1}, {2, 0, 1}, {3, 0, 1}, {2, 0, 0}, {3, 0, 0},
+			},
+			want:   Stats{Moves: 5, Inserts: 3, Removals: 2, Entries: 1, PeakEntries: 3},
+			lookup: map[object.ID]int{1: 1, 2: 0, 3: 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := New()
+			for _, m := range tc.script {
+				tb.Record(m.id, m.home, m.dst)
+			}
+			if got := tb.Stats(); got != tc.want {
+				t.Fatalf("stats = %+v, want %+v", got, tc.want)
+			}
+			for id, want := range tc.lookup {
+				if got := tb.Lookup(id, 0); got != want {
+					t.Fatalf("Lookup(%d) = %d, want %d", id, got, want)
+				}
+				if tb.Contains(id) != (want != 0) {
+					t.Fatalf("Contains(%d) inconsistent with Lookup", id)
+				}
+			}
+		})
+	}
+}
+
 // Property: after any sequence of moves, Lookup returns the last
 // non-home destination, or home if the object returned home.
 func TestPropertyLookupTracksLastMove(t *testing.T) {

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode fuzzes the text codec: Decode must never panic, and any
+// input it accepts must survive an Encode → Decode round trip
+// unchanged. Seeds cover the happy path and each directive's error
+// branches; testdata/fuzz/FuzzDecode holds the checked-in corpus.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte("trace home users=2\nfile 1 4096\nop 0 1 write 0 512\n"))
+	f.Add([]byte("# comment\n\ntrace t users=0\n"))
+	f.Add([]byte("trace t\n"))
+	f.Add([]byte("op 0 1 scribble 0 512\n"))
+	f.Add([]byte("file 1\n"))
+	f.Add([]byte("bogus directive\n"))
+	f.Add([]byte("trace t users=1\nfile 9223372036854775807 -1\nop -1 0 read -5 99999999999999999999\n"))
+
+	// A real generated trace as a seed, so the fuzzer starts from the
+	// full grammar the simulator actually produces.
+	p, ok := LookupProfile("home02")
+	if !ok {
+		f.Fatal("home02 profile missing")
+	}
+	tr, err := Generate(p.Scaled(2000), 7)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var seed bytes.Buffer
+	if err := tr.Encode(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		first, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: only the no-panic property applies
+		}
+		var buf bytes.Buffer
+		if err := first.Encode(&buf); err != nil {
+			t.Fatalf("encode of accepted trace failed: %v", err)
+		}
+		second, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of encoded trace failed: %v\ninput: %q", err, buf.String())
+		}
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("round trip changed the trace:\nfirst:  %+v\nsecond: %+v", first, second)
+		}
+	})
+}
