@@ -137,6 +137,7 @@ func BenchmarkFlashWrite(b *testing.B) {
 		}
 	}
 	stream := rng.New(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ssd.Write(stream.Int63n(live)); err != nil {
@@ -206,6 +207,7 @@ func BenchmarkClusterReplay(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cl, err := cluster.New(cluster.Config{OSDs: 16, WarmupDisabled: true, Seed: 9}, tr)
@@ -215,6 +217,27 @@ func BenchmarkClusterReplay(b *testing.B) {
 		if _, err := cl.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkClusterRun is BenchmarkClusterReplay with the scratch-state
+// recycling the experiment harness uses: each iteration hands the
+// previous run's grown buffers to the next cluster, so the allocs/op it
+// reports are the true marginal cost of one run in a sweep.
+func BenchmarkClusterRun(b *testing.B) {
+	tr := benchTrace(b)
+	scr := &cluster.Scratch{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := cluster.New(cluster.Config{OSDs: 16, WarmupDisabled: true, Seed: 9, Scratch: scr}, tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := cl.Run(); err != nil {
+			b.Fatal(err)
+		}
+		scr = cl.Release()
 	}
 }
 

@@ -1,0 +1,91 @@
+// Command benchgate turns `go test -bench` output into a checked-in
+// machine-readable baseline (BENCH_sim.json) and gates regressions
+// against it: any benchmark whose ns/op grows past the tolerance fails
+// the build, as does a steady-state benchmark that starts allocating.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... ./... | benchgate -out BENCH_sim.json
+//	go test -run '^$' -bench ... ./... | benchgate -baseline BENCH_sim.json
+//
+// The first form records a baseline; the second compares a fresh run
+// against it (and still writes -out when given, so CI can upload the
+// fresh numbers as an artefact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "", "compare parsed results against this BENCH_sim.json; non-zero exit on regression")
+		out       = flag.String("out", "", "write parsed results to this file as BENCH_sim.json")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth over the baseline (0.25 = +25%)")
+		input     = flag.String("in", "", "read `go test -bench` output from this file instead of stdin")
+	)
+	flag.Parse()
+
+	if *tolerance < 0 {
+		fatalf("bad -tolerance %v (want a non-negative fraction, e.g. 0.25)", *tolerance)
+	}
+	if *baseline == "" && *out == "" {
+		fatalf("nothing to do: give -out to record a baseline, -baseline to gate against one, or both")
+	}
+
+	src := os.Stdin
+	if *input != "" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	report, err := ParseBenchOutput(src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if len(report.Benchmarks) == 0 {
+		fatalf("no benchmark lines found in input (is -bench output being piped in?)")
+	}
+
+	if *out != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*out, buf, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("benchgate: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+	}
+
+	if *baseline != "" {
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var base Report
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fatalf("parsing %s: %v", *baseline, err)
+		}
+		failures := Compare(base, report, *tolerance)
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "benchgate: %s\n", f)
+		}
+		if len(failures) > 0 {
+			fatalf("%d benchmark(s) regressed beyond %.0f%% of %s", len(failures), *tolerance*100, *baseline)
+		}
+		fmt.Printf("benchgate: %d benchmarks within %.0f%% of %s\n", len(report.Benchmarks), *tolerance*100, *baseline)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

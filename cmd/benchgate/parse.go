@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name        string  `json:"name"`          // GOMAXPROCS suffix stripped
+	Iterations  int64   `json:"iterations"`    //
+	NsPerOp     float64 `json:"ns_per_op"`     //
+	BytesPerOp  float64 `json:"bytes_per_op"`  // present with -benchmem / ReportAllocs
+	AllocsPerOp float64 `json:"allocs_per_op"` //
+	HasAllocs   bool    `json:"has_allocs"`    // whether the two fields above were reported
+}
+
+// Report is the BENCH_sim.json document.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// ParseBenchOutput extracts benchmark result lines from `go test -bench`
+// output, ignoring everything else (ok/PASS lines, package headers).
+// A name appearing more than once — `go test -count=N` repeats — keeps
+// the slowest repeat, so a baseline recorded from several repeats is a
+// conservative ceiling rather than a lucky minimum.
+func ParseBenchOutput(r io.Reader) (Report, error) {
+	var rep Report
+	idx := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		b, ok, err := parseBenchLine(line)
+		if err != nil {
+			return Report{}, err
+		}
+		if !ok {
+			continue
+		}
+		if i, dup := idx[b.Name]; dup {
+			if b.NsPerOp > rep.Benchmarks[i].NsPerOp {
+				rep.Benchmarks[i] = b
+			}
+			continue
+		}
+		idx[b.Name] = len(rep.Benchmarks)
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   100   17.19 ns/op   0 B/op   0 allocs/op
+//
+// ok=false (with nil error) means the line starts with "Benchmark" but
+// is not a result line (e.g. a test named TestBenchmarkFoo's output).
+func parseBenchLine(line string) (Benchmark, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !isNumber(fields[1]) {
+		return Benchmark{}, false, nil
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the GOMAXPROCS suffix
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false, nil
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false, fmt.Errorf("bad benchmark line %q: value %q is not a number", line, fields[i])
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+			b.HasAllocs = true
+		case "allocs/op":
+			b.AllocsPerOp = v
+			b.HasAllocs = true
+		}
+	}
+	if b.NsPerOp == 0 && !b.HasAllocs {
+		return Benchmark{}, false, nil
+	}
+	return b, true, nil
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseInt(s, 10, 64)
+	return err == nil
+}
+
+// Compare gates fresh results against a baseline: a benchmark regresses
+// if its ns/op grows beyond the tolerance fraction, or if a benchmark
+// that was allocation-free in the baseline starts allocating (any
+// growth there is a hot-path leak, never noise). Benchmarks missing
+// from either side are reported too — a silently vanished benchmark
+// would otherwise let a regression hide by renaming.
+func Compare(base, fresh Report, tolerance float64) []string {
+	var failures []string
+	freshBy := map[string]Benchmark{}
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	for _, old := range base.Benchmarks {
+		now, ok := freshBy[old.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but not in this run", old.Name))
+			continue
+		}
+		delete(freshBy, old.Name)
+		if limit := old.NsPerOp * (1 + tolerance); now.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.4g ns/op exceeds baseline %.4g ns/op by more than %.0f%%",
+				old.Name, now.NsPerOp, old.NsPerOp, tolerance*100))
+		}
+		if old.HasAllocs && now.HasAllocs && old.AllocsPerOp == 0 && now.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %.4g allocs/op on a zero-allocation baseline",
+				old.Name, now.AllocsPerOp))
+		}
+	}
+	for name := range freshBy {
+		failures = append(failures, fmt.Sprintf("%s: not in baseline (refresh it to admit new benchmarks)", name))
+	}
+	sortStrings(failures)
+	return failures
+}
+
+// sortStrings is a tiny insertion sort; failure lists are short and this
+// keeps the output deterministic without importing sort for one call.
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

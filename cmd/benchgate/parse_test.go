@@ -1,0 +1,160 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	cases := []struct {
+		name    string
+		input   string
+		want    []Benchmark
+		wantErr string // substring; "" means success
+	}{
+		{
+			name: "full allocs line",
+			input: "goos: linux\n" +
+				"BenchmarkEngineAfterStep-8   \t 66477436\t        17.08 ns/op\t       0 B/op\t       0 allocs/op\n" +
+				"ok  \tedm/internal/sim\t1.5s\n",
+			want: []Benchmark{{
+				Name: "BenchmarkEngineAfterStep", Iterations: 66477436,
+				NsPerOp: 17.08, BytesPerOp: 0, AllocsPerOp: 0, HasAllocs: true,
+			}},
+		},
+		{
+			name:  "no benchmem",
+			input: "BenchmarkWearModelInversion \t  500000\t      2100 ns/op\n",
+			want: []Benchmark{{
+				Name: "BenchmarkWearModelInversion", Iterations: 500000, NsPerOp: 2100,
+			}},
+		},
+		{
+			name:  "gomaxprocs suffix stripped",
+			input: "BenchmarkFlashWrite-16 \t  100\t 72.58 ns/op\t 10 B/op\t 0 allocs/op\n",
+			want: []Benchmark{{
+				Name: "BenchmarkFlashWrite", Iterations: 100,
+				NsPerOp: 72.58, BytesPerOp: 10, AllocsPerOp: 0, HasAllocs: true,
+			}},
+		},
+		{
+			name: "multiple benchmarks",
+			input: "BenchmarkA \t 10\t 1.0 ns/op\n" +
+				"BenchmarkB \t 20\t 2.0 ns/op\n",
+			want: []Benchmark{
+				{Name: "BenchmarkA", Iterations: 10, NsPerOp: 1},
+				{Name: "BenchmarkB", Iterations: 20, NsPerOp: 2},
+			},
+		},
+		{
+			name:  "non-result Benchmark prefix ignored",
+			input: "BenchmarkClusterRun output follows\nBenchmarkA \t 10\t 1.0 ns/op\n",
+			want:  []Benchmark{{Name: "BenchmarkA", Iterations: 10, NsPerOp: 1}},
+		},
+		{
+			name:    "empty input",
+			input:   "PASS\nok  \tedm\t0.1s\n",
+			want:    nil,
+			wantErr: "",
+		},
+		{
+			name: "count repeats keep the slowest",
+			input: "BenchmarkA \t 10\t 1.0 ns/op\n" +
+				"BenchmarkA \t 12\t 1.4 ns/op\n" +
+				"BenchmarkA \t 11\t 1.2 ns/op\n",
+			want: []Benchmark{{Name: "BenchmarkA", Iterations: 12, NsPerOp: 1.4}},
+		},
+		{
+			name:    "garbled value rejected",
+			input:   "BenchmarkA \t 10\t notanumber ns/op\n",
+			wantErr: `value "notanumber" is not a number`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ParseBenchOutput(strings.NewReader(tc.input))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("ParseBenchOutput = %v, want error containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseBenchOutput: %v", err)
+			}
+			if len(rep.Benchmarks) != len(tc.want) {
+				t.Fatalf("parsed %d benchmarks, want %d: %+v", len(rep.Benchmarks), len(tc.want), rep.Benchmarks)
+			}
+			for i, want := range tc.want {
+				if rep.Benchmarks[i] != want {
+					t.Errorf("benchmark %d = %+v, want %+v", i, rep.Benchmarks[i], want)
+				}
+			}
+		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := Report{Benchmarks: []Benchmark{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 0, HasAllocs: true},
+		{Name: "BenchmarkB", NsPerOp: 1000},
+	}}
+	cases := []struct {
+		name      string
+		fresh     Report
+		tolerance float64
+		want      []string // substring per expected failure, in order
+	}{
+		{
+			name: "within tolerance",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkA", NsPerOp: 120, HasAllocs: true},
+				{Name: "BenchmarkB", NsPerOp: 1240},
+			}},
+			tolerance: 0.25,
+		},
+		{
+			name: "ns regression",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkA", NsPerOp: 126, HasAllocs: true},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+			}},
+			tolerance: 0.25,
+			want:      []string{"BenchmarkA: 126 ns/op exceeds baseline 100 ns/op"},
+		},
+		{
+			name: "zero-alloc baseline starts allocating",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 2, HasAllocs: true},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+			}},
+			tolerance: 0.25,
+			want:      []string{"BenchmarkA: 2 allocs/op on a zero-allocation baseline"},
+		},
+		{
+			name: "missing and unknown benchmarks",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkA", NsPerOp: 100, HasAllocs: true},
+				{Name: "BenchmarkC", NsPerOp: 5},
+			}},
+			tolerance: 0.25,
+			want: []string{
+				"BenchmarkB: in baseline but not in this run",
+				"BenchmarkC: not in baseline",
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Compare(base, tc.fresh, tc.tolerance)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Compare = %v, want %d failure(s) %v", got, len(tc.want), tc.want)
+			}
+			for i, want := range tc.want {
+				if !strings.Contains(got[i], want) {
+					t.Errorf("failure %d = %q, want it to contain %q", i, got[i], want)
+				}
+			}
+		})
+	}
+}

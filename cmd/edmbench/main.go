@@ -23,6 +23,7 @@ import (
 
 	"edm/internal/check"
 	"edm/internal/experiment"
+	"edm/internal/prof"
 	"edm/internal/sim"
 	"edm/internal/telemetry"
 )
@@ -40,8 +41,22 @@ func main() {
 		telemetryDir    = flag.String("telemetry-dir", "", "write per-run event logs, snapshot CSVs and Chrome traces here")
 		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
 		telemetrySample = flag.Float64("telemetry-sample", 30, "metric snapshot interval in virtual seconds")
+
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile (runtime/pprof) to this file at exit")
+		execProfile = flag.String("execprofile", "", "write an execution trace (runtime/trace, go tool trace) to this file")
 	)
 	flag.Parse()
+
+	profStop, err := prof.Start(prof.Config{CPU: *cpuProfile, Mem: *memProfile, Exec: *execProfile})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := profStop(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	opts := experiment.Options{
 		Scale:       *scale,

@@ -19,6 +19,7 @@ import (
 	"edm"
 	"edm/internal/check"
 	"edm/internal/metrics"
+	"edm/internal/prof"
 	"edm/internal/sim"
 	"edm/internal/telemetry"
 	"edm/internal/trace"
@@ -44,8 +45,22 @@ func main() {
 		telemetryDir    = flag.String("telemetry-dir", "", "write events.ndjson, snapshots.csv and trace.json (chrome://tracing) here")
 		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
 		telemetrySample = flag.Float64("telemetry-sample", 30, "metric snapshot interval in virtual seconds")
+
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
+		memProfile  = flag.String("memprofile", "", "write an allocation profile (runtime/pprof) to this file at exit")
+		execProfile = flag.String("execprofile", "", "write an execution trace (runtime/trace, go tool trace) to this file")
 	)
 	flag.Parse()
+
+	profStop, err := prof.Start(prof.Config{CPU: *cpuProfile, Mem: *memProfile, Exec: *execProfile})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer func() {
+		if err := profStop(); err != nil {
+			fatalf("%v", err)
+		}
+	}()
 
 	policy, err := parsePolicy(*policyStr)
 	if err != nil {

@@ -92,6 +92,13 @@ type Cluster struct {
 	respMigr     *metrics.Histogram // ops served while migration in flight
 	rejected     uint64
 
+	// Hot-path scratch, reused across operations so the replay loop is
+	// allocation-free in steady state (and recycled across runs through
+	// Config.Scratch).
+	accsBuf  []raid.Access
+	groupBuf []raid.Access
+	donePool []*opDone
+
 	moves         []migration.Move
 	blockedSubOps uint64
 	// movesCommitted counts migration moves that actually committed
@@ -173,6 +180,7 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 	if cfg.Metrics != nil {
 		c.registerMetrics(cfg.Metrics)
 	}
+	c.adopt(cfg.Scratch)
 	return c, nil
 }
 

@@ -137,6 +137,13 @@ type Config struct {
 	// SampleInterval is the Metrics snapshot cadence (default 30
 	// seconds of virtual time; ignored when Metrics is nil).
 	SampleInterval sim.Time
+
+	// Scratch, when non-nil, donates reusable hot-path buffers (RAID
+	// access scratch, pooled completion records, histogram sample
+	// storage) to this run. Recover the grown buffers with
+	// Cluster.Release after Run to recycle them into the next run —
+	// the experiment harness keeps a sync.Pool of these.
+	Scratch *Scratch
 }
 
 func (c *Config) applyDefaults() {

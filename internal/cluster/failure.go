@@ -91,13 +91,16 @@ func (c *Cluster) degradedFanOut(rec trace.Record, now sim.Time) sim.Time {
 	return done
 }
 
-// accessesFor returns the RAID accesses of a data record.
+// accessesFor returns the RAID accesses of a data record in the shared
+// scratch buffer (valid until the next access computation).
 func (c *Cluster) accessesFor(rec trace.Record) []raid.Access {
 	switch rec.Kind {
 	case trace.OpRead:
-		return c.geom.ReadAccesses(rec.Offset, rec.Size)
+		c.accsBuf = c.geom.AppendReadAccesses(c.accsBuf[:0], rec.Offset, rec.Size)
+		return c.accsBuf
 	case trace.OpWrite:
-		return c.geom.WriteAccesses(rec.Offset, rec.Size)
+		c.accsBuf = c.geom.AppendWriteAccesses(c.accsBuf[:0], rec.Offset, rec.Size)
+		return c.accsBuf
 	}
 	return nil
 }

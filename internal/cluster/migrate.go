@@ -169,6 +169,73 @@ func (c *Cluster) runChain(chain []migration.Move, i int, now sim.Time, blocks b
 // head-of-line block.
 const migrationChunkBytes = 256 << 10
 
+// mover copies one object chunk by chunk through the source and
+// destination queues. It is the scheduled Action for every chunk hop, so
+// a multi-MB move costs one mover allocation rather than one closure and
+// one event allocation per 256KB chunk.
+type mover struct {
+	c      *Cluster
+	m      migration.Move
+	size   int64
+	off    int64
+	blocks bool
+	done   func(sim.Time)
+}
+
+// Fire implements sim.Action: copy the next chunk (or commit).
+func (mv *mover) Fire(at sim.Time) { mv.step(at) }
+
+func (mv *mover) abort(at sim.Time) {
+	if mv.blocks {
+		mv.c.unlockObject(mv.m.Obj, at)
+	}
+	mv.done(at)
+}
+
+// step copies the chunk at mv.off and schedules the next hop at the
+// chunk's completion time.
+func (mv *mover) step(at sim.Time) {
+	c := mv.c
+	if mv.off >= mv.size || mv.size == 0 {
+		c.commitMove(mv.m, mv.size, at, mv.blocks, mv.done)
+		return
+	}
+	src := c.osds[mv.m.Src]
+	dst := c.osds[mv.m.Dst]
+	n := int64(migrationChunkBytes)
+	if mv.off+n > mv.size {
+		n = mv.size - mv.off
+	}
+	// Chunk read through the source queue.
+	readStart := at
+	if src.busyUntil > readStart {
+		readStart = src.busyUntil
+	}
+	readLat, _ := src.Store.Read(mv.m.Obj, mv.off, n)
+	readDone := readStart + c.cfg.NetOverhead + readLat
+	src.busyUntil = readDone
+	src.busyTime += c.cfg.NetOverhead + readLat
+
+	// Chunk write through the destination queue.
+	writeStart := readDone
+	if dst.busyUntil > writeStart {
+		writeStart = dst.busyUntil
+	}
+	writeLat, err := dst.Store.Write(mv.m.Obj, mv.off, n)
+	if err != nil {
+		c.rejected++
+		_ = dst.Store.Delete(mv.m.Obj)
+		mv.abort(readDone)
+		return
+	}
+	writeDone := writeStart + c.cfg.NetOverhead + writeLat
+	dst.busyUntil = writeDone
+	dst.busyTime += c.cfg.NetOverhead + writeLat
+
+	mv.off += n
+	c.eng.AtAction(writeDone, mv)
+}
+
 // moveObject performs one migration action, calling done with its
 // completion time. The object is copied in chunks: each chunk is read
 // through the source OSD's queue, then written through the destination's
@@ -177,26 +244,22 @@ func (c *Cluster) moveObject(m migration.Move, now sim.Time, blocks bool, done f
 	src := c.osds[m.Src]
 	dst := c.osds[m.Dst]
 
-	abort := func(at sim.Time) {
-		if blocks {
-			c.unlockObject(m.Obj, at)
-		}
-		done(at)
-	}
+	mv := &mover{c: c, m: m, blocks: blocks, done: done}
 
 	if !src.Store.Has(m.Obj) || dst.Store.Has(m.Obj) ||
 		c.failed[m.Src] || c.failed[m.Dst] {
 		// The object moved or vanished since planning, or a device
 		// failed in the meantime; skip.
-		abort(now)
+		mv.abort(now)
 		return
 	}
 	size := src.Store.Size(m.Obj)
+	mv.size = size
 	if err := dst.Store.Create(m.Obj, size); err != nil {
 		// Destination has no room; abandon the move (the source copy
 		// remains authoritative).
 		c.rejected++
-		abort(now)
+		mv.abort(now)
 		return
 	}
 	if c.rec != nil {
@@ -205,50 +268,7 @@ func (c *Cluster) moveObject(m migration.Move, now sim.Time, blocks bool, done f
 			Bytes: size, Locks: blocks,
 		})
 	}
-
-	var step func(off int64, at sim.Time)
-	step = func(off int64, at sim.Time) {
-		if off >= size || size == 0 {
-			c.commitMove(m, size, at, blocks, done)
-			return
-		}
-		n := int64(migrationChunkBytes)
-		if off+n > size {
-			n = size - off
-		}
-		// Chunk read through the source queue.
-		readStart := at
-		if src.busyUntil > readStart {
-			readStart = src.busyUntil
-		}
-		readLat, _ := src.Store.Read(m.Obj, off, n)
-		readDone := readStart + c.cfg.NetOverhead + readLat
-		src.busyUntil = readDone
-		src.busyTime += c.cfg.NetOverhead + readLat
-
-		// Chunk write through the destination queue.
-		writeStart := readDone
-		if dst.busyUntil > writeStart {
-			writeStart = dst.busyUntil
-		}
-		writeLat, err := dst.Store.Write(m.Obj, off, n)
-		if err != nil {
-			c.rejected++
-			_ = dst.Store.Delete(m.Obj)
-			abort(readDone)
-			return
-		}
-		writeDone := writeStart + c.cfg.NetOverhead + writeLat
-		dst.busyUntil = writeDone
-		dst.busyTime += c.cfg.NetOverhead + writeLat
-
-		c.eng.At(writeDone, func(next sim.Time) { step(off+n, next) })
-	}
-	if size == 0 {
-		c.commitMove(m, size, now, blocks, done)
-		return
-	}
-	step(0, now)
+	mv.step(now)
 }
 
 // commitMove finalises a completed copy: trim the source copy, carry the

@@ -19,9 +19,75 @@ import (
 // each user stream progresses concurrently; the client grouping affects
 // only where records are hosted, not their timing.
 type stream struct {
+	c       *Cluster
 	user    int
 	records []trace.Record
 	next    int
+}
+
+// Fire implements sim.Action: the stream's t=0 kick-off event.
+func (st *stream) Fire(now sim.Time) { st.c.issueNext(st, now) }
+
+// arrival is an open-loop record injection event; the arrivals of a run
+// live in one slice so scheduling them allocates nothing per record.
+type arrival struct {
+	c   *Cluster
+	rec trace.Record
+}
+
+// Fire implements sim.Action.
+func (a *arrival) Fire(now sim.Time) {
+	a.c.startOp(pendingOp{rec: a.rec, issued: now}, now)
+}
+
+// opDone is the pooled completion record of an in-flight file
+// operation: it fires when the operation's slowest sub-operation
+// finishes, records the response time, and (closed loop) issues the
+// stream's next record. Pooling it removes the per-operation closure
+// allocation from the replay loop.
+type opDone struct {
+	c      *Cluster
+	issued sim.Time
+	st     *stream
+	rec    trace.Record
+	parked bool
+}
+
+// Fire implements sim.Action.
+func (d *opDone) Fire(at sim.Time) {
+	c := d.c
+	st := d.st
+	c.opCompleted(d.issued, at)
+	if c.rec != nil {
+		c.rec.RequestComplete(telemetry.RequestComplete{
+			T: at, Issued: d.issued, User: int(d.rec.User), Op: d.rec.Kind.String(),
+			File: int64(d.rec.File), Blocked: d.parked,
+		})
+	}
+	c.releaseDone(d)
+	if st != nil {
+		c.issueNext(st, at)
+	}
+}
+
+// acquireDone takes a completion record from the pool (or grows it).
+// Records may arrive from an earlier run via Config.Scratch, so the
+// cluster binding is refreshed.
+func (c *Cluster) acquireDone() *opDone {
+	if n := len(c.donePool); n > 0 {
+		d := c.donePool[n-1]
+		c.donePool = c.donePool[:n-1]
+		d.c = c
+		return d
+	}
+	return &opDone{c: c}
+}
+
+// releaseDone returns a fired completion record for reuse. Callers must
+// copy any fields they still need first.
+func (c *Cluster) releaseDone(d *opDone) {
+	d.st = nil
+	c.donePool = append(c.donePool, d)
 }
 
 // pendingOp is a file operation parked on a locked object (§V.D: "all
@@ -108,7 +174,7 @@ func (c *Cluster) Run() (*Result, error) {
 	for _, r := range c.tr.Records {
 		st := byUser[int(r.User)]
 		if st == nil {
-			st = &stream{user: int(r.User)}
+			st = &stream{c: c, user: int(r.User)}
 			byUser[int(r.User)] = st
 			streams = append(streams, st)
 		}
@@ -140,18 +206,16 @@ func (c *Cluster) Run() (*Result, error) {
 	if c.cfg.OpenLoopRate > 0 {
 		// Open loop: records arrive on a fixed schedule in trace order.
 		interval := float64(sim.Second) / c.cfg.OpenLoopRate
+		arrivals := make([]arrival, len(c.tr.Records))
 		for j, r := range c.tr.Records {
 			at := sim.Time(float64(j) * interval)
-			rec := r
-			c.eng.At(at, func(now sim.Time) {
-				c.startOp(pendingOp{rec: rec, issued: now}, now)
-			})
+			arrivals[j] = arrival{c: c, rec: r}
+			c.eng.AtAction(at, &arrivals[j])
 		}
 	} else {
 		// Closed loop: kick every user stream at t=0.
 		for _, st := range streams {
-			st := st
-			c.eng.At(0, func(now sim.Time) { c.issueNext(st, now) })
+			c.eng.AtAction(0, st)
 		}
 	}
 	c.eng.Run()
@@ -198,22 +262,9 @@ func (c *Cluster) startOp(p pendingOp, now sim.Time) {
 		})
 	}
 	done := c.execute(p.rec, now)
-	issued := p.issued
-	st := p.st
-	rec := p.rec
-	wasParked := p.parked
-	c.eng.At(done, func(at sim.Time) {
-		c.opCompleted(issued, at)
-		if c.rec != nil {
-			c.rec.RequestComplete(telemetry.RequestComplete{
-				T: at, Issued: issued, User: int(rec.User), Op: rec.Kind.String(),
-				File: int64(rec.File), Blocked: wasParked,
-			})
-		}
-		if st != nil {
-			c.issueNext(st, at)
-		}
-	})
+	d := c.acquireDone()
+	d.issued, d.st, d.rec, d.parked = p.issued, p.st, p.rec, p.parked
+	c.eng.AtAction(done, d)
 }
 
 // blockedObject reports whether the record touches a locked object.
@@ -224,12 +275,13 @@ func (c *Cluster) blockedObject(rec trace.Record) (object.ID, bool) {
 	var accs []raid.Access
 	switch rec.Kind {
 	case trace.OpRead:
-		accs = c.geom.ReadAccesses(rec.Offset, rec.Size)
+		accs = c.geom.AppendReadAccesses(c.accsBuf[:0], rec.Offset, rec.Size)
 	case trace.OpWrite:
-		accs = c.geom.WriteAccesses(rec.Offset, rec.Size)
+		accs = c.geom.AppendWriteAccesses(c.accsBuf[:0], rec.Offset, rec.Size)
 	default:
 		return 0, false
 	}
+	c.accsBuf = accs
 	for _, a := range accs {
 		id := c.objectID(rec.File, a.Obj)
 		if c.locked[id] {
@@ -303,15 +355,19 @@ func (c *Cluster) execute(rec trace.Record, now sim.Time) sim.Time {
 }
 
 func (c *Cluster) executeRead(rec trace.Record, now sim.Time) sim.Time {
-	return c.fanOut(rec.File, c.geom.ReadAccesses(rec.Offset, rec.Size), now)
+	c.accsBuf = c.geom.AppendReadAccesses(c.accsBuf[:0], rec.Offset, rec.Size)
+	return c.fanOut(rec.File, c.accsBuf, now)
 }
 
 func (c *Cluster) executeWrite(rec trace.Record, now sim.Time) sim.Time {
-	return c.fanOut(rec.File, c.geom.WriteAccesses(rec.Offset, rec.Size), now)
+	c.accsBuf = c.geom.AppendWriteAccesses(c.accsBuf[:0], rec.Offset, rec.Size)
+	return c.fanOut(rec.File, c.accsBuf, now)
 }
 
 // fanOut groups a file operation's accesses by object, performs one
 // sub-operation per object, and returns the slowest completion time.
+// The per-object group is assembled in a reused scratch buffer; subOp
+// only reads it.
 func (c *Cluster) fanOut(file trace.FileID, accs []raid.Access, now sim.Time) sim.Time {
 	done := now
 	// Group accesses by object index, preserving order. K is small
@@ -324,12 +380,13 @@ func (c *Cluster) fanOut(file trace.FileID, accs []raid.Access, now sim.Time) si
 		if a.Obj < len(seen) {
 			seen[a.Obj] = true
 		}
-		group := accs[i : i+1]
+		group := append(c.groupBuf[:0], a)
 		for j := i + 1; j < len(accs); j++ {
 			if accs[j].Obj == a.Obj {
-				group = append(group[:len(group):len(group)], accs[j])
+				group = append(group, accs[j])
 			}
 		}
+		c.groupBuf = group[:0]
 		end := c.subOp(c.objectID(file, a.Obj), group, now)
 		if end > done {
 			done = end

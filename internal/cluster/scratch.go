@@ -1,0 +1,44 @@
+package cluster
+
+import "edm/internal/raid"
+
+// Scratch carries the reusable per-run buffers of a finished cluster to
+// the next one: RAID access scratch, the pooled operation-completion
+// records, and the response-histogram sample buffer. Repeated runs in an
+// experiment sweep reach steady state without re-growing any of them.
+//
+// A Scratch is owned by exactly one run at a time (hand it to
+// Config.Scratch, recover it with Cluster.Release); the experiment
+// harness cycles them through a sync.Pool across its worker pool.
+type Scratch struct {
+	accs  []raid.Access
+	group []raid.Access
+	done  []*opDone
+	resp  []float64
+}
+
+// adopt installs the scratch buffers into a freshly built cluster.
+func (c *Cluster) adopt(s *Scratch) {
+	if s == nil {
+		return
+	}
+	c.accsBuf = s.accs[:0]
+	c.groupBuf = s.group[:0]
+	c.donePool = s.done[:0]
+	c.respAll.Reset(s.resp)
+	s.accs, s.group, s.done, s.resp = nil, nil, nil, nil
+}
+
+// Release surrenders the cluster's (possibly grown) scratch buffers for
+// reuse by a subsequent run. Call it only after Run has returned and the
+// Result has been read; the cluster must not be used afterwards.
+func (c *Cluster) Release() *Scratch {
+	s := &Scratch{
+		accs:  c.accsBuf,
+		group: c.groupBuf,
+		done:  c.donePool,
+		resp:  c.respAll.Buffer(),
+	}
+	c.accsBuf, c.groupBuf, c.donePool = nil, nil, nil
+	return s
+}

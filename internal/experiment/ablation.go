@@ -61,14 +61,18 @@ func ablationRun(opts Options, label string, mode cluster.MigrationMode, planner
 	if mode == cluster.MigratePeriodic {
 		cfg.TemperatureInterval = sim.Second
 	}
+	scr := scratchPool.Get().(*cluster.Scratch)
+	cfg.Scratch = scr
 	cl, err := cluster.New(cfg, tr)
 	if err != nil {
+		scratchPool.Put(scr)
 		return AblationRow{Label: label, Err: err}
 	}
 	if planner != nil {
 		cl.SetPlanner(planner)
 	}
 	out, err := cl.Run()
+	scratchPool.Put(cl.Release())
 	if err != nil {
 		return AblationRow{Label: label, Err: err}
 	}
@@ -159,13 +163,17 @@ func AblationGroups(opts Options) *AblationResult {
 				k = m
 			}
 			cfg := cluster.Config{OSDs: 16, Groups: m, ObjectsPerFile: k, Seed: opts.Seed, Migration: cluster.MigrateMidpoint}
+			scr := scratchPool.Get().(*cluster.Scratch)
+			cfg.Scratch = scr
 			cl, err := cluster.New(cfg, tr)
 			if err != nil {
+				scratchPool.Put(scr)
 				rows[i] = AblationRow{Label: label, Err: err}
 				return
 			}
 			cl.SetPlanner(migration.NewHDF(migration.DefaultConfig()))
 			out, err := cl.Run()
+			scratchPool.Put(cl.Release())
 			if err != nil {
 				rows[i] = AblationRow{Label: label, Err: err}
 				return

@@ -137,12 +137,16 @@ func Reliability(opts Options) (*ReliabilityResult, error) {
 		Seed:           opts.Seed,
 		Migration:      cluster.MigrateMidpoint,
 	}
+	scr := scratchPool.Get().(*cluster.Scratch)
+	cfg.Scratch = scr
 	cl, err := cluster.New(cfg, tr)
 	if err != nil {
+		scratchPool.Put(scr)
 		return nil, err
 	}
 	cl.SetPlanner(plannerFor(HDF, opts))
 	out, err := cl.Run()
+	scratchPool.Put(cl.Release())
 	if err != nil {
 		return nil, err
 	}

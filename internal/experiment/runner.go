@@ -8,8 +8,15 @@ import (
 	"edm/internal/trace"
 )
 
-// buildTrace materialises a named workload at the experiment scale.
+// buildTrace materialises a named workload at the experiment scale,
+// memoizing the result: the matrix replays one generated trace under
+// many policies and cluster sizes, and replay never mutates it.
 func buildTrace(name string, opts Options) (*trace.Trace, error) {
+	return cachedTrace(name, opts)
+}
+
+// generateTrace is the uncached generation path behind buildTrace.
+func generateTrace(name string, opts Options) (*trace.Trace, error) {
 	if name == "random" {
 		return trace.Generate(trace.RandomProfile(2000, 400000).Scaled(opts.Scale), opts.Seed)
 	}
@@ -72,14 +79,19 @@ func runOneWith(name string, osds int, p Policy, opts Options, tweak func(*clust
 		cfg.Metrics = sink.Registry
 		cfg.SampleInterval = opts.Telemetry.Sample
 	}
+	// Recycle hot-path buffers from earlier runs in this sweep.
+	scr := scratchPool.Get().(*cluster.Scratch)
+	cfg.Scratch = scr
 	cl, err := cluster.New(cfg, tr)
 	if err != nil {
+		scratchPool.Put(scr)
 		return nil, err
 	}
 	if planner := plannerFor(p, opts); planner != nil {
 		cl.SetPlanner(planner)
 	}
 	res, err := cl.Run()
+	scratchPool.Put(cl.Release())
 	if err != nil {
 		return nil, err
 	}

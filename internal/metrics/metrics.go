@@ -145,6 +145,18 @@ func (h *Histogram) Observe(x float64) {
 	h.sorted = false
 }
 
+// Reset clears the histogram and adopts buf's backing storage for
+// subsequent samples, letting a harness recycle sample buffers across
+// runs instead of regrowing them.
+func (h *Histogram) Reset(buf []float64) {
+	h.xs = buf[:0]
+	h.sorted = false
+}
+
+// Buffer surrenders the sample buffer for recycling via Reset on another
+// histogram. The histogram must not be used afterwards.
+func (h *Histogram) Buffer() []float64 { return h.xs }
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int { return len(h.xs) }
 

@@ -1,0 +1,117 @@
+// Package prof wires the standard profilers behind command-line flags:
+// a CPU profile and an allocation profile via runtime/pprof, and a
+// runtime execution trace via runtime/trace. Commands declare the three
+// flags, build a Config, and bracket their work between Start and the
+// returned stop function.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Config names the output file for each profile kind; an empty path
+// disables that profile. Field names mirror the conventional flag names
+// (-cpuprofile, -memprofile, -execprofile).
+type Config struct {
+	CPU  string // CPU profile (runtime/pprof), written while running
+	Mem  string // allocation profile (runtime/pprof "allocs"), written at stop
+	Exec string // execution trace (runtime/trace), written while running
+}
+
+// Enabled reports whether any profile was requested.
+func (c Config) Enabled() bool {
+	return c.CPU != "" || c.Mem != "" || c.Exec != ""
+}
+
+// Validate rejects configurations where two profiles would write the
+// same file and silently corrupt each other's output.
+func (c Config) Validate() error {
+	paths := []struct{ flag, path string }{
+		{"-cpuprofile", c.CPU},
+		{"-memprofile", c.Mem},
+		{"-execprofile", c.Exec},
+	}
+	for i, a := range paths {
+		if a.path == "" {
+			continue
+		}
+		for _, b := range paths[i+1:] {
+			if a.path == b.path {
+				return fmt.Errorf("%s and %s both write to %q (give each profile its own file)",
+					a.flag, b.flag, a.path)
+			}
+		}
+	}
+	return nil
+}
+
+// Start validates the config and begins every requested profile. The
+// returned stop function ends profiling, writes the allocation profile,
+// and closes the files; it must run before process exit for the
+// profiles to be complete, and is safe to call when nothing was
+// requested. On error nothing is left running.
+func Start(c Config) (stop func() error, err error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		cpuFile  *os.File
+		execFile *os.File
+	)
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if execFile != nil {
+			trace.Stop()
+			execFile.Close()
+		}
+	}
+	if c.CPU != "" {
+		cpuFile, err = os.Create(c.CPU)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			cleanup()
+			return nil, fmt.Errorf("-cpuprofile: %v", err)
+		}
+	}
+	if c.Exec != "" {
+		execFile, err = os.Create(c.Exec)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("-execprofile: %v", err)
+		}
+		if err := trace.Start(execFile); err != nil {
+			execFile.Close()
+			execFile = nil
+			cleanup()
+			return nil, fmt.Errorf("-execprofile: %v", err)
+		}
+	}
+	mem := c.Mem
+	return func() error {
+		cleanup()
+		if mem == "" {
+			return nil
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %v", err)
+		}
+		defer f.Close()
+		runtime.GC() // settle live-object counts before the snapshot
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			return fmt.Errorf("-memprofile: %v", err)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,127 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr string // substring; "" means valid
+	}{
+		{"empty", Config{}, ""},
+		{"cpu only", Config{CPU: "cpu.pb"}, ""},
+		{"all distinct", Config{CPU: "cpu.pb", Mem: "mem.pb", Exec: "exec.out"}, ""},
+		{"cpu and mem collide", Config{CPU: "p.pb", Mem: "p.pb"},
+			`-cpuprofile and -memprofile both write to "p.pb"`},
+		{"cpu and exec collide", Config{CPU: "p.pb", Exec: "p.pb"},
+			`-cpuprofile and -execprofile both write to "p.pb"`},
+		{"mem and exec collide", Config{Mem: "p.pb", Exec: "p.pb"},
+			`-memprofile and -execprofile both write to "p.pb"`},
+		{"all collide names first pair", Config{CPU: "p.pb", Mem: "p.pb", Exec: "p.pb"},
+			`-cpuprofile and -memprofile both write to "p.pb"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate(%+v) = %v, want nil", tc.cfg, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate(%+v) = %v, want error containing %q", tc.cfg, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	cases := []struct {
+		cfg  Config
+		want bool
+	}{
+		{Config{}, false},
+		{Config{CPU: "a"}, true},
+		{Config{Mem: "a"}, true},
+		{Config{Exec: "a"}, true},
+	}
+	for _, tc := range cases {
+		if got := tc.cfg.Enabled(); got != tc.want {
+			t.Errorf("Enabled(%+v) = %v, want %v", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+func TestStartWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		CPU:  filepath.Join(dir, "cpu.pb"),
+		Mem:  filepath.Join(dir, "mem.pb"),
+		Exec: filepath.Join(dir, "exec.out"),
+	}
+	stop, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	// Burn a little CPU and heap so every profile has something to say.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	for _, p := range []string{cfg.CPU, cfg.Mem, cfg.Exec} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
+func TestStartNothingRequested(t *testing.T) {
+	stop, err := Start(Config{})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestStartRejectsCollision(t *testing.T) {
+	if _, err := Start(Config{CPU: "p.pb", Mem: "p.pb"}); err == nil {
+		t.Fatal("Start with colliding paths succeeded, want error")
+	}
+}
+
+func TestStartBadDirectory(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "cpu.pb")
+	if _, err := Start(Config{CPU: bad}); err == nil {
+		t.Fatal("Start with unwritable path succeeded, want error")
+	}
+	// The same failure on the exec path must also unwind the already
+	// started CPU profile so a second Start can succeed.
+	dir := t.TempDir()
+	cfg := Config{CPU: filepath.Join(dir, "cpu.pb"), Exec: bad}
+	if _, err := Start(cfg); err == nil {
+		t.Fatal("Start with unwritable exec path succeeded, want error")
+	}
+	stop, err := Start(Config{CPU: filepath.Join(dir, "cpu2.pb")})
+	if err != nil {
+		t.Fatalf("Start after failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}

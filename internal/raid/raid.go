@@ -76,7 +76,13 @@ type Access struct {
 // ReadAccesses returns the per-object ranges for a file read: pure data
 // reads, no parity involvement.
 func (g Geometry) ReadAccesses(off, length int64) []Access {
-	var accs []Access
+	return g.AppendReadAccesses(nil, off, length)
+}
+
+// AppendReadAccesses appends a file read's per-object ranges to accs and
+// returns the extended slice. Passing a reused buffer keeps the replay
+// hot path allocation-free.
+func (g Geometry) AppendReadAccesses(accs []Access, off, length int64) []Access {
 	g.mapData(off, length, func(row int64, obj int, objOff, n int64) {
 		accs = append(accs, Access{Obj: obj, Offset: objOff, Length: n, PreRead: true})
 	})
@@ -89,15 +95,22 @@ func (g Geometry) ReadAccesses(off, length int64) []Access {
 // written. Rows overwritten in full skip the pre-reads (reconstruct
 // write).
 func (g Geometry) WriteAccesses(off, length int64) []Access {
+	return g.AppendWriteAccesses(nil, off, length)
+}
+
+// AppendWriteAccesses appends a file write's per-object ranges (RAID-5
+// small-write path, as WriteAccesses) to accs and returns the extended
+// slice. Passing a reused buffer keeps the replay hot path
+// allocation-free.
+func (g Geometry) AppendWriteAccesses(accs []Access, off, length int64) []Access {
 	if length <= 0 {
-		return nil
+		return accs
 	}
 	if off < 0 {
 		panic(fmt.Sprintf("raid: negative offset %d", off))
 	}
 	d := int64(g.dataCols())
 	rowBytes := g.StripeUnit * d
-	var accs []Access
 	for length > 0 {
 		row := off / rowBytes
 		within := off % rowBytes

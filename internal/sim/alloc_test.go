@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// The engine's steady-state cycle — schedule, fire, recycle the slot —
+// must not allocate: the cluster replay loop runs it millions of times
+// per simulated run. These tests pin that property so a regression
+// fails loudly instead of showing up as a benchmark drift.
+
+func TestAfterStepSteadyStateZeroAlloc(t *testing.T) {
+	e := New()
+	n := 0
+	fn := func(Time) { n++ }
+	// Warm the slot storage and free list before measuring.
+	e.After(1, fn)
+	e.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("After+Step steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestAfterActionStepSteadyStateZeroAlloc(t *testing.T) {
+	e := New()
+	act := &countAction{}
+	e.AfterAction(1, act)
+	e.Step()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterAction(1, act)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("AfterAction+Step steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestCancelSteadyStateZeroAlloc(t *testing.T) {
+	e := New()
+	act := &countAction{}
+	h := e.AfterAction(1, act)
+	h.Cancel()
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := e.AfterAction(1, act)
+		h.Cancel()
+	})
+	if allocs != 0 {
+		t.Fatalf("schedule+Cancel steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestTickerSteadyStateZeroAlloc(t *testing.T) {
+	e := New()
+	n := 0
+	e.Every(1, func(Time) { n++ })
+	e.Step()
+	allocs := testing.AllocsPerRun(1000, func() { e.Step() })
+	if allocs != 0 {
+		t.Fatalf("Ticker reschedule cycle allocates %.1f objects/op, want 0", allocs)
+	}
+	if n == 0 {
+		t.Fatal("ticker never fired")
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import "testing"
+
+// countAction is the closure-free scheduling payload used by the engine
+// benchmarks: one long-lived value rescheduled forever, the pattern the
+// cluster hot path uses.
+type countAction struct{ n int }
+
+func (a *countAction) Fire(Time) { a.n++ }
+
+// BenchmarkEngineAfterActionStep measures the steady-state event cycle
+// on the closure-free path: schedule one Action, fire it, repeat. This
+// is the cluster replay inner loop and must not allocate.
+func BenchmarkEngineAfterActionStep(b *testing.B) {
+	e := New()
+	act := &countAction{}
+	e.AfterAction(1, act)
+	e.Step() // warm the slot free list
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.AfterAction(1, act)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineAfterStep is the same cycle through the closure API
+// with a hoisted func value (no per-iteration closure capture).
+func BenchmarkEngineAfterStep(b *testing.B) {
+	e := New()
+	n := 0
+	fn := func(Time) { n++ }
+	e.After(1, fn)
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineChurn1024 holds 1024 pending events and cycles the
+// heap: pop the minimum, reschedule it at a pseudorandom future time.
+// This exercises sift depth rather than the single-element fast path.
+func BenchmarkEngineChurn1024(b *testing.B) {
+	e := New()
+	act := &countAction{}
+	lcg := uint64(0x9e3779b97f4a7c15)
+	next := func() Time {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return Time(lcg >> 40)
+	}
+	for i := 0; i < 1024; i++ {
+		e.AfterAction(1+next(), act)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.AfterAction(1+next(), act)
+	}
+}
+
+// BenchmarkEngineCancel measures schedule-then-cancel, the fate of
+// every speculative timeout. Cancel removes the event from the heap
+// eagerly, so the queue stays empty across iterations.
+func BenchmarkEngineCancel(b *testing.B) {
+	e := New()
+	act := &countAction{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.AfterAction(1, act)
+		h.Cancel()
+	}
+}
+
+// BenchmarkEngineTicker measures the self-rescheduling Ticker cycle.
+func BenchmarkEngineTicker(b *testing.B) {
+	e := New()
+	n := 0
+	e.Every(1, func(Time) { n++ })
+	e.Step()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -5,10 +5,17 @@
 // which makes every simulation a pure function of its inputs: running the
 // same model twice yields identical event orderings and therefore
 // identical results. All EDM experiments are built on this property.
+//
+// The queue is an index-based 4-ary min-heap over a value slice of event
+// slots with a free list, so steady-state scheduling (At/After/Step)
+// performs no heap allocations: fired and cancelled events return their
+// slots for reuse. Handles are generation-checked slot indices, and
+// Cancel removes its event from the queue eagerly, so cancelled events
+// never linger (Pending is exact and a Stop-heavy run cannot bloat the
+// queue).
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -47,55 +54,52 @@ func (t Time) String() string { return time.Duration(t).String() }
 // Event is a callback scheduled to run at a virtual instant.
 type Event func(now Time)
 
-type scheduled struct {
-	at    Time
-	seq   uint64 // tiebreaker: FIFO among same-time events
-	fn    Event
-	index int
-	dead  bool
+// Action is a pre-bound event: a value whose Fire method runs at the
+// scheduled instant. Scheduling an Action instead of an Event avoids the
+// closure allocation a captured-variable callback costs at hot call
+// sites — storing an interface built from an existing pointer allocates
+// nothing.
+type Action interface {
+	Fire(now Time)
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
-type Handle struct{ s *scheduled }
+// slot holds one scheduled event. Slots live in a value slice and are
+// recycled through a free list; pos tracks the slot's position in the
+// heap (freeSlot when idle) and gen invalidates stale handles.
+type slot struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among same-time events
+	fn  Event  // exactly one of fn/act is set
+	act Action
+	gen uint32
+	pos int32
+}
 
-// Cancel removes the event from the queue. Cancelling an already-fired or
-// already-cancelled event is a no-op. It reports whether the event was
-// still pending.
+// freeSlot marks a slot that is not in the heap (fired, cancelled, or
+// never used).
+const freeSlot = int32(-1)
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and refers to no event.
+type Handle struct {
+	e   *Engine
+	id  int32
+	gen uint32
+}
+
+// Cancel removes the event from the queue immediately. Cancelling an
+// already-fired or already-cancelled event is a no-op. It reports
+// whether the event was still pending.
 func (h Handle) Cancel() bool {
-	if h.s == nil || h.s.dead || h.s.index < 0 {
+	if h.e == nil {
 		return false
 	}
-	h.s.dead = true
-	return true
-}
-
-type eventQueue []*scheduled
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	s := &h.e.slots[h.id]
+	if s.pos == freeSlot || s.gen != h.gen {
+		return false
 	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	s := x.(*scheduled)
-	s.index = len(*q)
-	*q = append(*q, s)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	s.index = -1
-	*q = old[:n-1]
-	return s
+	h.e.removeAt(s.pos)
+	return true
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe
@@ -103,7 +107,9 @@ func (q *eventQueue) Pop() any {
 // independent Engine instances, never within one.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	slots   []slot
+	heap    []int32 // slot ids ordered as a 4-ary min-heap on (at, seq)
+	free    []int32 // recycled slot ids (LIFO)
 	seq     uint64
 	fired   uint64
 	running bool
@@ -118,23 +124,44 @@ func (e *Engine) Now() Time { return e.now }
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending returns the number of events waiting in the queue, including
-// cancelled events that have not yet been discarded.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events waiting in the queue. Cancelled
+// events are removed eagerly and never counted.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc reserves a slot for an event at the given instant and links it
+// into the heap.
+func (e *Engine) alloc(at Time) int32 {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	var id int32
+	if n := len(e.free); n > 0 {
+		id = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{pos: freeSlot})
+		id = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[id]
+	s.at = at
+	s.seq = e.seq
+	e.seq++
+	s.pos = int32(len(e.heap))
+	e.heap = append(e.heap, id)
+	e.siftUp(int(s.pos))
+	return id
+}
 
 // At schedules fn to run at the absolute virtual time at. Scheduling in
 // the past (before Now) panics: it would silently corrupt causality.
 func (e *Engine) At(at Time, fn Event) Handle {
-	if at < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
-	}
 	if fn == nil {
 		panic("sim: nil event")
 	}
-	s := &scheduled{at: at, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, s)
-	return Handle{s}
+	id := e.alloc(at)
+	s := &e.slots[id]
+	s.fn = fn
+	return Handle{e: e, id: id, gen: s.gen}
 }
 
 // After schedules fn to run delay after the current time.
@@ -145,6 +172,26 @@ func (e *Engine) After(delay Time, fn Event) Handle {
 	return e.At(e.now+delay, fn)
 }
 
+// AtAction schedules a.Fire to run at the absolute virtual time at,
+// without the closure allocation of At.
+func (e *Engine) AtAction(at Time, a Action) Handle {
+	if a == nil {
+		panic("sim: nil action")
+	}
+	id := e.alloc(at)
+	s := &e.slots[id]
+	s.act = a
+	return Handle{e: e, id: id, gen: s.gen}
+}
+
+// AfterAction schedules a.Fire to run delay after the current time.
+func (e *Engine) AfterAction(delay Time, a Action) Handle {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.AtAction(e.now+delay, a)
+}
+
 // Every schedules fn at now+period, then repeatedly every period until
 // the returned handle's Cancel is called or the run ends. fn observes the
 // firing time.
@@ -153,11 +200,13 @@ func (e *Engine) Every(period Time, fn Event) *Ticker {
 		panic(fmt.Sprintf("sim: non-positive period %v", period))
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.arm()
+	t.handle = e.AfterAction(period, t)
 	return t
 }
 
-// Ticker repeatedly schedules an event with a fixed period.
+// Ticker repeatedly schedules an event with a fixed period. The Ticker
+// itself is the scheduled Action, so ticking allocates nothing after the
+// initial Every call.
 type Ticker struct {
 	engine  *Engine
 	period  Time
@@ -166,19 +215,20 @@ type Ticker struct {
 	stopped bool
 }
 
-func (t *Ticker) arm() {
-	t.handle = t.engine.After(t.period, func(now Time) {
-		if t.stopped {
-			return
-		}
-		t.fn(now)
-		if !t.stopped {
-			t.arm()
-		}
-	})
+// Fire implements Action: run the callback, then re-arm unless Stop was
+// called (possibly from inside the callback itself).
+func (t *Ticker) Fire(now Time) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped {
+		t.handle = t.engine.AfterAction(t.period, t)
+	}
 }
 
-// Stop cancels future firings. Safe to call multiple times.
+// Stop cancels future firings. Safe to call multiple times, including
+// from inside the ticker's own callback.
 func (t *Ticker) Stop() {
 	t.stopped = true
 	t.handle.Cancel()
@@ -187,17 +237,97 @@ func (t *Ticker) Stop() {
 // Step executes the next pending event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		s := heap.Pop(&e.queue).(*scheduled)
-		if s.dead {
-			continue
-		}
-		e.now = s.at
-		e.fired++
-		s.fn(e.now)
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	s := &e.slots[e.heap[0]]
+	at := s.at
+	fn := s.fn
+	act := s.act
+	e.removeAt(0)
+	e.now = at
+	e.fired++
+	if act != nil {
+		act.Fire(at)
+	} else {
+		fn(at)
+	}
+	return true
+}
+
+// removeAt unlinks the event at heap position pos and recycles its slot.
+// The slot's generation advances so stale handles miss.
+func (e *Engine) removeAt(pos int32) {
+	id := e.heap[pos]
+	last := int32(len(e.heap) - 1)
+	moved := e.heap[last]
+	e.heap[pos] = moved
+	e.slots[moved].pos = pos
+	e.heap = e.heap[:last]
+	if pos < last {
+		e.siftDown(int(pos))
+		e.siftUp(int(e.slots[moved].pos))
+	}
+	s := &e.slots[id]
+	s.pos = freeSlot
+	s.gen++
+	s.fn = nil
+	s.act = nil
+	e.free = append(e.free, id)
+}
+
+// less orders heap entries by (at, seq): earliest first, FIFO among
+// same-time events — the determinism tiebreak.
+func (e *Engine) less(a, b int32) bool {
+	sa, sb := &e.slots[a], &e.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// siftUp restores heap order from position i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		e.slots[h[i]].pos = int32(i)
+		e.slots[h[parent]].pos = int32(parent)
+		i = parent
+	}
+}
+
+// siftDown restores heap order from position i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if e.less(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !e.less(h[min], h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		e.slots[h[i]].pos = int32(i)
+		e.slots[h[min]].pos = int32(min)
+		i = min
+	}
 }
 
 // Run executes events until the queue drains.
@@ -213,30 +343,12 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(deadline Time) {
 	e.guard()
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		next := e.peek()
-		if next == nil {
-			break
-		}
-		if next.at > deadline {
-			break
-		}
+	for len(e.heap) > 0 && e.slots[e.heap[0]].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
-}
-
-func (e *Engine) peek() *scheduled {
-	for len(e.queue) > 0 {
-		if e.queue[0].dead {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return e.queue[0]
-	}
-	return nil
 }
 
 func (e *Engine) guard() {

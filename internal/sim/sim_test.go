@@ -265,6 +265,103 @@ func TestPendingCountsQueuedEvents(t *testing.T) {
 	}
 }
 
+// TestRunUntilAllCancelled drains a queue whose every event was
+// cancelled: Cancel removes events from the heap eagerly, so RunUntil
+// must see an empty queue, fire nothing, and still advance the clock to
+// the deadline.
+func TestRunUntilAllCancelled(t *testing.T) {
+	e := New()
+	handles := make([]Handle, 5)
+	for i := range handles {
+		handles[i] = e.At(Time(10+10*i), func(Time) { t.Error("cancelled event fired") })
+	}
+	for _, h := range handles {
+		if !h.Cancel() {
+			t.Fatal("Cancel reported false for a pending event")
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancelling everything, want 0", e.Pending())
+	}
+	e.RunUntil(100)
+	if e.Now() != 100 {
+		t.Fatalf("clock at %v after RunUntil(100) over a dead queue", e.Now())
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0", e.Fired())
+	}
+	if e.Step() {
+		t.Fatal("Step on an all-cancelled queue reported true")
+	}
+}
+
+// TestRunUntilSkipsCancelledHead cancels the earliest events so the
+// queue head is dead at the moment RunUntil peeks: the surviving later
+// event must still fire at its own time, not the cancelled one's.
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	e := New()
+	h1 := e.At(10, func(Time) { t.Error("cancelled head fired") })
+	h2 := e.At(20, func(Time) { t.Error("cancelled head fired") })
+	var firedAt Time
+	e.At(30, func(now Time) { firedAt = now })
+	h1.Cancel()
+	h2.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1 (cancelled events must not linger)", e.Pending())
+	}
+	e.RunUntil(25)
+	if e.Now() != 25 || e.Fired() != 0 {
+		t.Fatalf("RunUntil(25): now=%v fired=%d, want 25/0", e.Now(), e.Fired())
+	}
+	e.RunUntil(35)
+	if firedAt != 30 {
+		t.Fatalf("surviving event fired at %v, want 30", firedAt)
+	}
+}
+
+// TestTickerStopInsideOwnCallback stops the ticker from within its own
+// callback on the first fire: it must not reschedule, and the stop must
+// be idempotent afterwards.
+func TestTickerStopInsideOwnCallback(t *testing.T) {
+	e := New()
+	fires := 0
+	var tk *Ticker
+	tk = e.Every(10, func(Time) {
+		fires++
+		tk.Stop()
+		tk.Stop() // second stop inside the callback is a no-op
+	})
+	e.At(100, func(Time) {}) // keep the run going past would-be ticks
+	e.Run()
+	if fires != 1 {
+		t.Fatalf("ticker fired %d times after stopping itself, want 1", fires)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after run, want 0 (stopped ticker left an event)", e.Pending())
+	}
+	tk.Stop() // and once more after the run
+	if e.Now() != 100 {
+		t.Fatalf("clock at %v, want 100", e.Now())
+	}
+}
+
+// TestPendingExcludesCancelled pins the Pending contract: cancelled
+// events leave the queue immediately rather than lingering as dead
+// entries discovered at fire time.
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := New()
+	var handles []Handle
+	for i := 0; i < 10; i++ {
+		handles = append(handles, e.At(Time(i+1), func(Time) {}))
+	}
+	for i, h := range handles {
+		h.Cancel()
+		if got, want := e.Pending(), len(handles)-i-1; got != want {
+			t.Fatalf("Pending() = %d after %d cancels, want %d", got, i+1, want)
+		}
+	}
+}
+
 // Property: for any set of timestamps, events fire in sorted order and
 // the engine clock ends at the max.
 func TestPropertyEventOrdering(t *testing.T) {
