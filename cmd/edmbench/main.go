@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -37,6 +40,7 @@ func main() {
 		osds     = flag.String("osds", "16,20", "comma-separated cluster sizes for the matrix experiments")
 		lambda   = flag.Float64("lambda", 0.1, "wear-imbalance trigger threshold λ")
 		selfchk  = flag.Bool("check", false, "run every experiment simulation with the cluster state self-check enabled")
+		timeout  = flag.Duration("timeout", 0, "wall-clock cap on the whole invocation (0 = none); Ctrl-C also cancels")
 
 		telemetryDir    = flag.String("telemetry-dir", "", "write per-run event logs, snapshot CSVs and Chrome traces here")
 		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
@@ -58,7 +62,18 @@ func main() {
 		}
 	}()
 
+	// Every simulation in every experiment runs under this context:
+	// cancelled by Ctrl-C, and by -timeout if set.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := experiment.Options{
+		Context:     ctx,
 		Scale:       *scale,
 		Seed:        *seed,
 		Parallelism: *parallel,
@@ -96,6 +111,9 @@ func main() {
 		t0 := time.Now()
 		out, err := fn()
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fatalf("%s: interrupted: %v", name, err)
+			}
 			fatalf("%s: %v", name, err)
 		}
 		fmt.Println(out)

@@ -10,10 +10,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"edm"
@@ -37,6 +39,7 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "simulation seed")
 		lambda    = flag.Float64("lambda", 0.1, "trigger threshold λ")
 		migration = flag.String("migration", "", "override controller mode: never | midpoint | periodic")
+		timeout   = flag.Duration("timeout", 0, "wall-clock cap on the run (0 = none); Ctrl-C also cancels")
 		selfCheck = flag.Bool("check", false, "run with invariant checking: event-stream checker + end-of-run state audit; non-zero exit on any violation")
 		series    = flag.Bool("series", false, "print the response-time series (Fig. 7 view)")
 		perOSD    = flag.Bool("per-osd", false, "print per-OSD erase counts, write pages and utilizations")
@@ -83,12 +86,19 @@ func main() {
 		Seed:           *seed,
 		Lambda:         *lambda,
 	}
-	mode, modeSet, err := parseMigrationMode(*migration)
+	mode, err := parseMigrationMode(*migration)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if modeSet {
-		spec.Migration, spec.MigrationSet = mode, true
+	spec.MigrationMode = mode
+
+	// The run context: cancelled by Ctrl-C, and by -timeout if set.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	sinkCfg := telemetry.SinkConfig{
@@ -136,7 +146,7 @@ func main() {
 			fatalf("%v", err)
 		}
 		check.Bind(ck, cl)
-		if res, err = cl.Run(); err != nil {
+		if res, err = cl.RunContext(ctx); err != nil {
 			fatalf("%v", err)
 		}
 		rep := check.Audit(cl, ck)
@@ -146,7 +156,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "check: %s\n", rep)
 	} else {
 		var err error
-		if res, err = edm.Run(spec); err != nil {
+		if res, err = edm.RunContext(ctx, spec); err != nil {
 			fatalf("%v", err)
 		}
 	}

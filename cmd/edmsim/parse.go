@@ -9,43 +9,34 @@ import (
 	"edm/internal/trace"
 )
 
-// policyNames lists the valid -policy values in presentation order.
-var policyNames = []string{"baseline", "cmt", "hdf", "cdf"}
-
-// parsePolicy maps the -policy flag to a library policy. Unknown values
-// yield an error naming every valid option.
+// parsePolicy maps the -policy flag to a library policy; the library
+// parser also accepts the figure labels (EDM-HDF, ...).
 func parsePolicy(s string) (edm.Policy, error) {
-	switch s {
-	case "baseline":
-		return edm.PolicyBaseline, nil
-	case "cmt":
-		return edm.PolicyCMT, nil
-	case "hdf":
-		return edm.PolicyHDF, nil
-	case "cdf":
-		return edm.PolicyCDF, nil
-	}
-	return 0, fmt.Errorf("unknown policy %q (valid: %s)", s, strings.Join(policyNames, ", "))
+	return edm.ParsePolicy(s)
 }
 
 // migrationNames lists the valid -migration values.
 var migrationNames = []string{"never", "midpoint", "periodic"}
 
-// parseMigrationMode maps the -migration flag to a controller mode. The
-// empty string means "not set" (set=false); unknown values yield an
+// parseMigrationMode maps the -migration flag to a controller mode
+// override. The empty string means "not set" and returns nil, which
+// keeps the Spec's policy-derived default; unknown values yield an
 // error naming every valid option.
-func parseMigrationMode(s string) (mode cluster.MigrationMode, set bool, err error) {
+func parseMigrationMode(s string) (*cluster.MigrationMode, error) {
+	var mode cluster.MigrationMode
 	switch s {
 	case "":
-		return cluster.MigrateNever, false, nil
+		return nil, nil
 	case "never":
-		return cluster.MigrateNever, true, nil
+		mode = cluster.MigrateNever
 	case "midpoint":
-		return cluster.MigrateMidpoint, true, nil
+		mode = cluster.MigrateMidpoint
 	case "periodic":
-		return cluster.MigratePeriodic, true, nil
+		mode = cluster.MigratePeriodic
+	default:
+		return nil, fmt.Errorf("unknown migration mode %q (valid: %s)", s, strings.Join(migrationNames, ", "))
 	}
-	return 0, false, fmt.Errorf("unknown migration mode %q (valid: %s)", s, strings.Join(migrationNames, ", "))
+	return &mode, nil
 }
 
 // validateWorkload checks a -workload name against the built-in

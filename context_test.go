@@ -1,0 +1,178 @@
+package edm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"edm/internal/cluster"
+	"edm/internal/trace"
+)
+
+// slowSpec is a run long enough (~1s; more under -race) to be
+// cancelled mid-flight. Warmup is disabled so setup cost stays small
+// relative to the replay the tests interrupt.
+func slowSpec() Spec {
+	return Spec{Workload: "home02", OSDs: 16, Policy: PolicyHDF, Scale: 4, Seed: 3,
+		Cluster: cluster.Config{WarmupDisabled: true}}
+}
+
+// TestRunContextMatchesRun: a completed context run must be
+// byte-identical (as JSON) to Run on the same spec and seed — the
+// cancellation plumbing may not perturb the simulation.
+func TestRunContextMatchesRun(t *testing.T) {
+	direct, err := Run(quickSpec(PolicyHDF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	viaCtx, err := RunContext(ctx, quickSpec(PolicyHDF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(viaCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("RunContext result differs from Run:\n Run:        %.200s\n RunContext: %.200s", a, b)
+	}
+}
+
+// TestRunContextCancelMidRun: cancelling during the replay returns
+// promptly with an error wrapping context.Canceled and a nil result.
+func TestRunContextCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	t0 := time.Now()
+	res, err := RunContext(ctx, slowSpec())
+	elapsed := time.Since(t0)
+	if res != nil {
+		t.Errorf("cancelled run returned a result: %+v", res)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run error = %v, want wrapping context.Canceled", err)
+	}
+	// The uncancelled run takes ~1s (several under -race); the engine
+	// checks the context every few thousand events, so past setup the
+	// return is near-immediate. The generous bound absorbs -race and CI
+	// slowness while still ruling out a run-to-completion.
+	if elapsed > 5*time.Second {
+		t.Errorf("cancelled run took %v to return", elapsed)
+	}
+}
+
+// TestRunContextDeadline: an expired deadline surfaces as
+// context.DeadlineExceeded through the same path.
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, slowSpec())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timed-out run error = %v, want wrapping context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunContextPreCancelled: a dead context fails fast, before any
+// trace generation or cluster construction.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	res, err := RunContext(ctx, slowSpec())
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run = (%v, %v)", res, err)
+	}
+	if elapsed := time.Since(t0); elapsed > 100*time.Millisecond {
+		t.Errorf("pre-cancelled run took %v, want immediate return", elapsed)
+	}
+}
+
+// TestRunContextNoGoroutineLeaks: a burst of concurrent cancelled and
+// completed runs leaves the goroutine count where it started.
+func TestRunContextNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(cancelIt bool) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			if cancelIt {
+				go func() {
+					time.Sleep(10 * time.Millisecond)
+					cancel()
+				}()
+				_, _ = RunContext(ctx, slowSpec())
+				return
+			}
+			if _, err := RunContext(ctx, quickSpec(PolicyBaseline)); err != nil {
+				t.Errorf("completed run: %v", err)
+			}
+		}(i%2 == 0)
+	}
+	wg.Wait()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after runs", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSentinelErrors is the table-driven errors.Is coverage for the
+// library's sentinels across the layers that raise them.
+func TestSentinelErrors(t *testing.T) {
+	_, errWorkloadRun := Run(Spec{Workload: "nope"})
+	_, errWorkloadTrace := BuildTrace(Spec{Workload: "nope"})
+	_, errConfig := Run(Spec{Workload: "home02", Scale: 400, OSDs: -1,
+		Cluster: cluster.Config{OSDs: -1}})
+	_, errOK := Run(quickSpec(PolicyBaseline))
+
+	cases := []struct {
+		name   string
+		err    error
+		target error
+		want   bool
+	}{
+		{"Run unknown workload is ErrUnknownWorkload", errWorkloadRun, ErrUnknownWorkload, true},
+		{"Run unknown workload is trace.ErrUnknownProfile", errWorkloadRun, trace.ErrUnknownProfile, true},
+		{"BuildTrace unknown workload is ErrUnknownWorkload", errWorkloadTrace, ErrUnknownWorkload, true},
+		{"unknown workload is not ErrInvalidConfig", errWorkloadRun, cluster.ErrInvalidConfig, false},
+		{"bad config is cluster.ErrInvalidConfig", errConfig, cluster.ErrInvalidConfig, true},
+		{"bad config is not ErrUnknownWorkload", errConfig, ErrUnknownWorkload, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err == nil {
+				t.Fatal("expected a non-nil error")
+			}
+			if got := errors.Is(tc.err, tc.target); got != tc.want {
+				t.Errorf("errors.Is(%v, %v) = %v, want %v", tc.err, tc.target, got, tc.want)
+			}
+		})
+	}
+	if errOK != nil {
+		t.Fatalf("control run failed: %v", errOK)
+	}
+}

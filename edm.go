@@ -21,52 +21,51 @@
 //	spec := edm.Spec{Workload: "home02", OSDs: 16, Policy: edm.PolicyHDF, Scale: 50, Seed: 1}
 //	res, err := edm.Run(spec)
 //	// res.ThroughputOps, res.AggregateErases, res.MovedObjects, ...
+//
+// Runs are cancellable: RunContext threads a context.Context through the
+// whole stack down to the discrete-event engine, which polls it every
+// few thousand events — the entry point cmd/edmd serves jobs through.
 package edm
 
 import (
+	"context"
 	"fmt"
 
 	"edm/internal/cluster"
 	"edm/internal/migration"
+	"edm/internal/policy"
 	"edm/internal/sim"
 	"edm/internal/trace"
 )
 
-// Policy selects the migration scheme for a run.
-type Policy int
+// Policy selects the migration scheme for a run. It is an alias of the
+// shared internal policy type, so the experiment harness and this
+// package label figures from one source of truth.
+type Policy = policy.Policy
 
 // The four systems compared throughout the paper's evaluation (§V).
 const (
 	// PolicyBaseline runs no migration.
-	PolicyBaseline Policy = iota
+	PolicyBaseline = policy.Baseline
 	// PolicyCMT is the conventional (Sorrento-based) migration
 	// technique.
-	PolicyCMT
+	PolicyCMT = policy.CMT
 	// PolicyHDF is EDM's Hot-Data First policy.
-	PolicyHDF
+	PolicyHDF = policy.HDF
 	// PolicyCDF is EDM's Cold-Data First policy.
-	PolicyCDF
+	PolicyCDF = policy.CDF
 )
 
-// String implements fmt.Stringer, matching the paper's figure labels.
-func (p Policy) String() string {
-	switch p {
-	case PolicyBaseline:
-		return "baseline"
-	case PolicyCMT:
-		return "CMT"
-	case PolicyHDF:
-		return "EDM-HDF"
-	case PolicyCDF:
-		return "EDM-CDF"
-	}
-	return fmt.Sprintf("Policy(%d)", int(p))
-}
-
 // AllPolicies lists the four systems in the paper's presentation order.
-func AllPolicies() []Policy {
-	return []Policy{PolicyBaseline, PolicyCMT, PolicyHDF, PolicyCDF}
-}
+func AllPolicies() []Policy { return policy.All() }
+
+// ParsePolicy maps a user-facing name (baseline, cmt, hdf, cdf, or a
+// figure label like EDM-HDF) to a Policy, case-insensitively.
+func ParsePolicy(s string) (Policy, error) { return policy.Parse(s) }
+
+// ErrUnknownWorkload tags a Spec.Workload name that matches no built-in
+// profile; test with errors.Is.
+var ErrUnknownWorkload = trace.ErrUnknownProfile
 
 // Spec describes one replay experiment.
 type Spec struct {
@@ -90,12 +89,21 @@ type Spec struct {
 
 	// Policy selects the migration scheme.
 	Policy Policy
-	// Migration overrides the controller mode; the zero value picks
-	// MigrateNever for PolicyBaseline and MigrateMidpoint otherwise
-	// (the paper's methodology).
+	// MigrationMode overrides the controller mode. Nil — the default —
+	// picks the paper's methodology: MigrateNever for PolicyBaseline
+	// and MigrateMidpoint otherwise. A non-nil pointer always wins,
+	// including an explicit &MigrateNever.
+	MigrationMode *cluster.MigrationMode
+
+	// Migration overrides the controller mode.
+	//
+	// Deprecated: use MigrationMode, whose nil state distinguishes "not
+	// set" from an intentional MigrateNever without a side flag. The
+	// pair is honoured only when MigrationMode is nil.
 	Migration cluster.MigrationMode
-	// MigrationSet reports Migration was set explicitly (distinguishes
-	// an intentional MigrateNever from the zero value).
+	// MigrationSet reports Migration was set explicitly.
+	//
+	// Deprecated: see Migration.
 	MigrationSet bool
 
 	// Lambda is the trigger threshold λ; zero takes the default (0.1).
@@ -135,7 +143,8 @@ func BuildTrace(spec Spec) (*trace.Trace, error) {
 	} else {
 		prof, ok := trace.LookupProfile(spec.Workload)
 		if !ok {
-			return nil, fmt.Errorf("edm: unknown workload %q (have %v and random)", spec.Workload, trace.ProfileNames())
+			return nil, fmt.Errorf("edm: unknown workload %q (have %v and random): %w",
+				spec.Workload, trace.ProfileNames(), ErrUnknownWorkload)
 		}
 		p = prof.Scaled(scale)
 	}
@@ -175,6 +184,9 @@ func NewCluster(spec Spec) (*cluster.Cluster, error) {
 }
 
 func (spec Spec) migrationMode() cluster.MigrationMode {
+	if spec.MigrationMode != nil {
+		return *spec.MigrationMode
+	}
 	if spec.MigrationSet || spec.Migration != cluster.MigrateNever {
 		return spec.Migration
 	}
@@ -205,11 +217,34 @@ func (spec Spec) planner() migration.Planner {
 
 // Run executes the spec end to end and returns the result.
 func Run(spec Spec) (*Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext executes the spec end to end under ctx. Cancellation is
+// observed by the discrete-event engine within sim.CancelCheckInterval
+// events; the returned error then wraps ctx.Err(). A run that completes
+// is byte-identical to Run on the same spec and seed — the context
+// plumbing never touches the simulation state.
+func RunContext(ctx context.Context, spec Spec) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tr, err := BuildTrace(spec)
+	if err != nil {
+		return nil, err
+	}
+	// Trace generation and cluster construction (with its warm-up fill)
+	// are not interruptible internally, so bound the post-cancellation
+	// work by re-checking at each phase boundary.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	spec.Trace = tr
 	cl, err := NewCluster(spec)
 	if err != nil {
 		return nil, err
 	}
-	return cl.Run()
+	return cl.RunContext(ctx)
 }
 
 // Minute re-exports the virtual-time constant most examples need.

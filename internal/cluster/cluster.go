@@ -127,11 +127,11 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 		layout.Mode = placement.ModeGroupRotate
 	}
 	if err := layout.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cluster: %w: %w", err, ErrInvalidConfig)
 	}
 	geom := raid.Geometry{K: cfg.ObjectsPerFile, StripeUnit: cfg.StripeUnit}
 	if err := geom.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("cluster: %w: %w", err, ErrInvalidConfig)
 	}
 	if err := tr.Validate(); err != nil {
 		return nil, err

@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 
 	"edm/internal/flash"
@@ -19,6 +20,12 @@ import (
 	"edm/internal/sim"
 	"edm/internal/telemetry"
 )
+
+// ErrInvalidConfig tags every cluster-configuration validation failure
+// (bad OSD count, out-of-range utilization target, invalid layout or
+// RAID geometry) so callers can branch with errors.Is instead of
+// matching message text.
+var ErrInvalidConfig = errors.New("invalid cluster configuration")
 
 // MigrationMode selects when the migration controller runs.
 type MigrationMode int
@@ -185,15 +192,16 @@ func (c *Config) applyDefaults() {
 	}
 }
 
-// Validate reports configuration errors after defaulting.
+// Validate reports configuration errors after defaulting. Every failure
+// wraps ErrInvalidConfig.
 func (c Config) Validate() error {
 	switch {
 	case c.OSDs <= 0:
-		return fmt.Errorf("cluster: need at least 1 OSD, got %d", c.OSDs)
+		return fmt.Errorf("cluster: need at least 1 OSD, got %d: %w", c.OSDs, ErrInvalidConfig)
 	case c.TargetMaxUtilization <= 0 || c.TargetMaxUtilization >= 0.95:
-		return fmt.Errorf("cluster: target max utilization %v out of (0,0.95)", c.TargetMaxUtilization)
+		return fmt.Errorf("cluster: target max utilization %v out of (0,0.95): %w", c.TargetMaxUtilization, ErrInvalidConfig)
 	case c.LoadEWMAAlpha <= 0 || c.LoadEWMAAlpha > 1:
-		return fmt.Errorf("cluster: load EWMA alpha %v out of (0,1]", c.LoadEWMAAlpha)
+		return fmt.Errorf("cluster: load EWMA alpha %v out of (0,1]: %w", c.LoadEWMAAlpha, ErrInvalidConfig)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -166,6 +167,18 @@ type Result struct {
 // Run replays the whole trace and returns the result. It may be called
 // once per cluster.
 func (c *Cluster) Run() (*Result, error) {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the replay polls ctx every
+// sim.CancelCheckInterval events and, when it fires, returns promptly
+// with an error wrapping ctx.Err(). An interrupted run produces no
+// Result — the replay stopped mid-trace, so every figure metric would
+// be truncated — and the cluster cannot be re-run.
+func (c *Cluster) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: run not started: %w", err)
+	}
 	if c.totalOps > 0 {
 		return nil, fmt.Errorf("cluster: Run called twice")
 	}
@@ -218,7 +231,10 @@ func (c *Cluster) Run() (*Result, error) {
 			c.eng.AtAction(0, st)
 		}
 	}
-	c.eng.Run()
+	if err := c.eng.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("cluster: run interrupted at %v (%d/%d ops): %w",
+			c.eng.Now(), c.completedOps, c.totalOps, err)
+	}
 
 	if c.cfg.SelfCheck {
 		if v := c.Audit(); len(v) > 0 {

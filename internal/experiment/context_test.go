@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestCancelledContextFailsExperiments: a dead Options.Context makes
+// every experiment return an error wrapping context.Canceled instead of
+// burning minutes simulating.
+func TestCancelledContextFailsExperiments(t *testing.T) {
+	opts := fastOpts()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts.Context = ctx
+
+	t0 := time.Now()
+	if _, err := Fig1(opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("Fig1 = %v, want wrapping context.Canceled", err)
+	}
+	if _, err := Fig7(opts); !errors.Is(err, context.Canceled) {
+		t.Errorf("Fig7 = %v, want wrapping context.Canceled", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Errorf("cancelled experiments took %v", elapsed)
+	}
+}
+
+// TestCancelledContextFailsMatrixCells: the matrix keeps its
+// every-cell-gets-a-result-or-an-error invariant under cancellation —
+// no cell may end up with a nil Result and a nil Err (the Format
+// methods dereference Result when Err is nil).
+func TestCancelledContextFailsMatrixCells(t *testing.T) {
+	opts := fastOpts()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts.Context = ctx
+
+	cells := Matrix(opts)
+	if len(cells) == 0 {
+		t.Fatal("matrix returned no cells")
+	}
+	for _, c := range cells {
+		if c.Err == nil {
+			t.Fatalf("cell %s/%d/%s: nil Err under a cancelled context (Result=%v)",
+				c.Trace, c.OSDs, c.Policy, c.Result)
+		}
+		if !errors.Is(c.Err, context.Canceled) {
+			t.Fatalf("cell %s/%d/%s: err = %v, want wrapping context.Canceled",
+				c.Trace, c.OSDs, c.Policy, c.Err)
+		}
+	}
+}

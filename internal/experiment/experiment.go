@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -19,24 +20,26 @@ import (
 
 	"edm/internal/cluster"
 	"edm/internal/metrics"
+	"edm/internal/policy"
 	"edm/internal/telemetry"
 	"edm/internal/trace"
 )
 
-// Policy mirrors the four systems of the evaluation. (Deliberately a
-// local copy: the experiment layer addresses policies by figure label.)
-type Policy string
+// Policy is the shared policy enum (the same type the root edm package
+// exports), re-exported so experiment code and figure labels have one
+// source of truth.
+type Policy = policy.Policy
 
 // The four systems, labelled as in the paper's figures.
 const (
-	Baseline Policy = "baseline"
-	CMT      Policy = "CMT"
-	HDF      Policy = "EDM-HDF"
-	CDF      Policy = "EDM-CDF"
+	Baseline = policy.Baseline
+	CMT      = policy.CMT
+	HDF      = policy.HDF
+	CDF      = policy.CDF
 )
 
 // AllPolicies in presentation order.
-var AllPolicies = []Policy{Baseline, CMT, HDF, CDF}
+var AllPolicies = policy.All()
 
 // Options scope an experiment run.
 type Options struct {
@@ -60,6 +63,12 @@ type Options struct {
 	// conservation law fails with a descriptive error instead of
 	// contributing silently-wrong numbers to a figure.
 	Check bool
+
+	// Context, when non-nil, bounds every simulation the experiment
+	// launches: once it is cancelled, in-flight runs return promptly
+	// with an error wrapping ctx.Err() and queued runs fail before
+	// starting. Nil means context.Background() (no cancellation).
+	Context context.Context
 
 	// Telemetry, when enabled, makes every simulation the experiments
 	// launch through the shared runner write its event log, snapshot
@@ -90,6 +99,14 @@ func (o Options) withDefaults() Options {
 		o.Lambda = 0.1
 	}
 	return o
+}
+
+// ctx returns the run context, defaulting to Background.
+func (o Options) ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
 }
 
 // pool runs jobs over a bounded worker pool and waits for completion.

@@ -361,7 +361,7 @@ func (r *Fig7Result) Format() string {
 		}
 		header := []string{"t(s)"}
 		for _, s := range set {
-			header = append(header, string(s.Policy))
+			header = append(header, s.Policy.String())
 		}
 		t := &table{header: header}
 		for i := 0; i < maxLen; i++ {

@@ -87,7 +87,7 @@ func (r *OpenLoopResult) Format() string {
 	b.WriteString("fixed arrival schedules surface imbalance as queueing delay instead of\nthrottled throughput — migration's benefit at full size\n")
 	t := &table{header: []string{"load", "policy", "mean RT (ms)", "p99 RT (ms)", "moved"}}
 	for _, row := range r.Rows {
-		t.add(fmt.Sprintf("%.0f%%", row.LoadFraction*100), string(row.Policy),
+		t.add(fmt.Sprintf("%.0f%%", row.LoadFraction*100), row.Policy.String(),
 			fmt.Sprintf("%.2f", row.MeanRTms),
 			fmt.Sprintf("%.1f", row.P99RTms),
 			fmt.Sprint(row.Moved))

@@ -180,7 +180,7 @@ func (r *ReliabilityResult) Format() string {
 	t := &table{header: []string{"policy", "first death", "last death", "spread", "cross-group risk"}}
 	for _, row := range r.Policies {
 		spread := row.LastDeath / row.FirstDeath
-		t.add(string(row.Policy),
+		t.add(row.Policy.String(),
 			fmt.Sprintf("%.0f", row.FirstDeath),
 			fmt.Sprintf("%.0f", row.LastDeath),
 			fmt.Sprintf("%.2fx", spread),

@@ -22,7 +22,7 @@ func generateTrace(name string, opts Options) (*trace.Trace, error) {
 	}
 	p, ok := trace.LookupProfile(name)
 	if !ok {
-		return nil, fmt.Errorf("experiment: unknown workload %q", name)
+		return nil, fmt.Errorf("experiment: unknown workload %q: %w", name, trace.ErrUnknownProfile)
 	}
 	return trace.Generate(p.Scaled(opts.Scale), opts.Seed)
 }
@@ -51,6 +51,10 @@ func runOne(name string, osds int, p Policy, opts Options) (*cluster.Result, err
 // runOneWith additionally lets an experiment adjust the cluster config
 // (e.g. Fig. 7's finer response-time buckets) before the run.
 func runOneWith(name string, osds int, p Policy, opts Options, tweak func(*cluster.Config)) (*cluster.Result, error) {
+	ctx := opts.ctx()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("experiment: %s/%d/%s not started: %w", name, osds, p, err)
+	}
 	tr, err := buildTrace(name, opts)
 	if err != nil {
 		return nil, err
@@ -90,7 +94,7 @@ func runOneWith(name string, osds int, p Policy, opts Options, tweak func(*clust
 	if planner := plannerFor(p, opts); planner != nil {
 		cl.SetPlanner(planner)
 	}
-	res, err := cl.Run()
+	res, err := cl.RunContext(ctx)
 	scratchPool.Put(cl.Release())
 	if err != nil {
 		return nil, err
@@ -109,5 +113,5 @@ func runLabel(exp, trace string, osds int, p Policy) string {
 	if exp == "" {
 		exp = "run"
 	}
-	return fmt.Sprintf("%s.%s.%d.%s", exp, trace, osds, string(p))
+	return fmt.Sprintf("%s.%s.%d.%s", exp, trace, osds, p)
 }

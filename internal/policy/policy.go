@@ -1,0 +1,69 @@
+// Package policy holds the single source of truth for the four systems
+// compared throughout the EDM paper's evaluation (§V). The root edm
+// package and internal/experiment both re-export this type, so figure
+// labels, CLI flags and planner construction cannot drift apart.
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Policy selects the migration scheme for a run.
+type Policy int
+
+// The four systems in the paper's presentation order.
+const (
+	// Baseline runs no migration.
+	Baseline Policy = iota
+	// CMT is the conventional (Sorrento-based) migration technique.
+	CMT
+	// HDF is EDM's Hot-Data First policy.
+	HDF
+	// CDF is EDM's Cold-Data First policy.
+	CDF
+)
+
+// String implements fmt.Stringer, matching the paper's figure labels.
+func (p Policy) String() string {
+	switch p {
+	case Baseline:
+		return "baseline"
+	case CMT:
+		return "CMT"
+	case HDF:
+		return "EDM-HDF"
+	case CDF:
+		return "EDM-CDF"
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// All lists the four systems in the paper's presentation order.
+func All() []Policy {
+	return []Policy{Baseline, CMT, HDF, CDF}
+}
+
+// Names lists the canonical parseable spellings in presentation order
+// (the CLI flag values).
+func Names() []string {
+	return []string{"baseline", "cmt", "hdf", "cdf"}
+}
+
+// Parse maps a user-facing name to a policy. It accepts the CLI
+// spellings (baseline, cmt, hdf, cdf) and the figure labels String
+// produces (CMT, EDM-HDF, EDM-CDF), case-insensitively. Unknown values
+// yield an error naming every valid option.
+func Parse(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "baseline":
+		return Baseline, nil
+	case "cmt":
+		return CMT, nil
+	case "hdf", "edm-hdf":
+		return HDF, nil
+	case "cdf", "edm-cdf":
+		return CDF, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (valid: %s)", s, strings.Join(Names(), ", "))
+}

@@ -1,0 +1,77 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringsMatchFigureLabels(t *testing.T) {
+	want := map[Policy]string{
+		Baseline: "baseline",
+		CMT:      "CMT",
+		HDF:      "EDM-HDF",
+		CDF:      "EDM-CDF",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("%d.String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+	if got := Policy(99).String(); got != "Policy(99)" {
+		t.Fatalf("out-of-range String: %q", got)
+	}
+}
+
+func TestAllOrder(t *testing.T) {
+	all := All()
+	if len(all) != 4 || all[0] != Baseline || all[3] != CDF {
+		t.Fatalf("All() = %v", all)
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Policy
+		wantErr bool
+	}{
+		{"baseline", Baseline, false},
+		{"cmt", CMT, false},
+		{"hdf", HDF, false},
+		{"cdf", CDF, false},
+		{"CMT", CMT, false},
+		{"EDM-HDF", HDF, false},
+		{"edm-cdf", CDF, false},
+		{" hdf ", HDF, false},
+		{"", 0, true},
+		{"edm", 0, true},
+		{"never", 0, true},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("Parse(%q): expected error", c.in)
+			}
+			if !strings.Contains(err.Error(), "baseline, cmt, hdf, cdf") {
+				t.Fatalf("Parse(%q) error should list valid options: %v", c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("Parse(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseRoundTripsLabels(t *testing.T) {
+	for _, p := range All() {
+		got, err := Parse(p.String())
+		if err != nil || got != p {
+			t.Fatalf("Parse(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"edm"
+	"edm/internal/sim"
+)
+
+// Handler returns the server's HTTP API. The mux is built per call but
+// shares the server's state, so it is cheap and safe to call more than
+// once (e.g. once for httptest and once for ListenAndServe).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs", s.handleList)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	return mux
+}
+
+// apiError is the JSON error body every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// runView is the GET /v1/runs/{id} body: the job status with the
+// result inlined once the run is done.
+type runView struct {
+	JobStatus
+	Result *edm.Result `json:"result,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		return
+	}
+	st, err := s.Submit(req)
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/runs/"+st.ID)
+	writeJSON(w, http.StatusCreated, st)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Runs []JobStatus `json:"runs"`
+	}{Runs: s.statuses()})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	st, res := j.status()
+	writeJSON(w, http.StatusOK, runView{JobStatus: st, Result: res})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	j.requestCancel()
+	st, _ := j.status()
+	writeJSON(w, http.StatusOK, st)
+}
+
+// streamLine is one NDJSON line of GET /v1/runs/{id}/stream. Type is
+// "status" (initial snapshot), "progress" (periodic), "result"
+// (terminal, carries the run output) or "error" (terminal).
+type streamLine struct {
+	Type   string      `json:"type"`
+	Status *JobStatus  `json:"status,omitempty"`
+	Run    *edm.Result `json:"run,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// handleStream follows one job as NDJSON until it reaches a terminal
+// state or the client goes away. Lines are flushed as they are written
+// so clients see progress live.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	emit := func(line streamLine) {
+		_ = enc.Encode(line)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	st, _ := j.status()
+	emit(streamLine{Type: "status", Status: &st})
+
+	tick := time.NewTicker(s.cfg.StreamInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-j.done:
+			st, res := j.status()
+			if st.State == StateDone {
+				emit(streamLine{Type: "result", Status: &st, Run: res})
+			} else {
+				emit(streamLine{Type: "error", Status: &st, Error: st.Error})
+			}
+			return
+		case <-r.Context().Done():
+			return
+		case <-tick.C:
+			st, _ := j.status()
+			emit(streamLine{Type: "progress", Status: &st})
+		}
+	}
+}
+
+// healthz reports liveness plus the occupancy numbers an operator (or
+// load balancer) wants at a glance.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Workers       int     `json:"workers"`
+		Running       int64   `json:"running"`
+		QueueDepth    int     `json:"queue_depth"`
+		QueueCapacity int     `json:"queue_capacity"`
+	}{
+		Status:        status,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.cfg.Workers,
+		Running:       s.running.Load(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+	})
+}
+
+// metricsz renders the telemetry registry as "name value" text lines —
+// the same registry type the simulation uses, sampled per scrape via
+// Snapshot so scraping does not accumulate rows.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	names := s.reg.Names()
+	vals := s.reg.Snapshot(sim.Time(0))
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for i, name := range names {
+		fmt.Fprintf(w, "edmd_%s %v\n", name, vals[i])
+	}
+}

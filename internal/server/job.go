@@ -1,0 +1,273 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edm"
+	"edm/internal/cluster"
+	"edm/internal/telemetry"
+	"edm/internal/trace"
+)
+
+// State is a job's lifecycle phase. Queued and running are transient;
+// done, failed and cancelled are terminal.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// RunRequest is the POST /v1/runs body: the JSON surface of edm.Spec.
+// Zero fields take the library defaults noted per field.
+type RunRequest struct {
+	// Workload names a built-in profile (home02..lair62b, random).
+	Workload string `json:"workload"`
+	// Scale divides the Table I workload (default 20, like the CLIs).
+	Scale int `json:"scale,omitempty"`
+	// OSDs is the cluster size (default 16).
+	OSDs int `json:"osds,omitempty"`
+	// Groups is m (default 4).
+	Groups int `json:"groups,omitempty"`
+	// ObjectsPerFile is k, the RAID-5 stripe width (default 4).
+	ObjectsPerFile int `json:"objects_per_file,omitempty"`
+	// Policy is baseline | cmt | hdf | cdf (default baseline).
+	Policy string `json:"policy,omitempty"`
+	// Migration overrides the controller mode: never | midpoint |
+	// periodic. Empty keeps the paper default for the policy.
+	Migration string `json:"migration,omitempty"`
+	// Lambda is the trigger threshold λ (default 0.1).
+	Lambda float64 `json:"lambda,omitempty"`
+	// Seed drives workload generation and the simulation.
+	Seed uint64 `json:"seed,omitempty"`
+	// TimeoutS caps the job's wall-clock execution in seconds; 0 defers
+	// to the server's -job-timeout (the smaller of the two wins).
+	TimeoutS float64 `json:"timeout_s,omitempty"`
+}
+
+// Spec validates the request and converts it to an edm.Spec. The
+// returned error wraps edm.ErrUnknownWorkload for bad workload names,
+// so the HTTP layer can map it to 400.
+func (r RunRequest) Spec() (edm.Spec, error) {
+	spec := edm.Spec{
+		Workload:       r.Workload,
+		Scale:          r.Scale,
+		OSDs:           r.OSDs,
+		Groups:         r.Groups,
+		ObjectsPerFile: r.ObjectsPerFile,
+		Lambda:         r.Lambda,
+		Seed:           r.Seed,
+	}
+	if spec.Workload == "" {
+		return edm.Spec{}, errors.New("server: missing workload")
+	}
+	if spec.Workload != "random" {
+		if _, ok := trace.LookupProfile(spec.Workload); !ok {
+			return edm.Spec{}, fmt.Errorf("server: workload %q (valid: %v, random): %w",
+				spec.Workload, trace.ProfileNames(), edm.ErrUnknownWorkload)
+		}
+	}
+	if spec.Scale == 0 {
+		spec.Scale = 20
+	}
+	if spec.Scale < 1 {
+		return edm.Spec{}, fmt.Errorf("server: scale %d out of range (>= 1)", spec.Scale)
+	}
+	if spec.OSDs == 0 {
+		spec.OSDs = 16
+	}
+	if r.TimeoutS < 0 {
+		return edm.Spec{}, fmt.Errorf("server: negative timeout_s %v", r.TimeoutS)
+	}
+	if r.Policy != "" {
+		p, err := edm.ParsePolicy(r.Policy)
+		if err != nil {
+			return edm.Spec{}, fmt.Errorf("server: %w", err)
+		}
+		spec.Policy = p
+	}
+	if r.Migration != "" {
+		mode, err := parseMigrationMode(r.Migration)
+		if err != nil {
+			return edm.Spec{}, fmt.Errorf("server: %w", err)
+		}
+		spec.MigrationMode = &mode
+	}
+	return spec, nil
+}
+
+// parseMigrationMode maps the request's migration string to a mode.
+func parseMigrationMode(s string) (cluster.MigrationMode, error) {
+	switch s {
+	case "never":
+		return cluster.MigrateNever, nil
+	case "midpoint":
+		return cluster.MigrateMidpoint, nil
+	case "periodic":
+		return cluster.MigratePeriodic, nil
+	}
+	return 0, fmt.Errorf("unknown migration mode %q (valid: never, midpoint, periodic)", s)
+}
+
+// job is one accepted run: its request, its lifecycle state, and the
+// handles the worker and the HTTP layer share.
+type job struct {
+	id   string
+	req  RunRequest
+	spec edm.Spec
+
+	// completedOps is bumped by the progress recorder from the worker
+	// goroutine and read by status/stream handlers — hence atomic.
+	completedOps atomic.Int64
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    *edm.Result
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // set while running
+	cancelled bool               // cancellation requested (any state)
+
+	// done is closed exactly once, when the job reaches a terminal
+	// state; stream handlers select on it.
+	done chan struct{}
+}
+
+func newJob(id string, req RunRequest, spec edm.Spec) *job {
+	return &job{
+		id:        id,
+		req:       req,
+		spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+}
+
+// begin transitions queued → running and installs the cancel handle.
+// It reports false when the job was cancelled while queued (the worker
+// must skip it).
+func (j *job) begin(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	if j.cancelled {
+		j.state = StateCancelled
+		j.finished = time.Now()
+		close(j.done)
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the run outcome and closes done.
+func (j *job) finish(res *edm.Result, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = res
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	close(j.done)
+}
+
+// requestCancel marks the job cancelled. A queued job terminates
+// immediately; a running job's context is cancelled and the worker
+// finishes it within one engine check interval. Terminal jobs are
+// untouched. It reports whether the call changed anything.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() || j.cancelled {
+		return false
+	}
+	j.cancelled = true
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.finished = time.Now()
+		close(j.done)
+	case StateRunning:
+		j.cancel()
+	}
+	return true
+}
+
+// JobStatus is the JSON shape of GET /v1/runs/{id} and the stream's
+// status lines.
+type JobStatus struct {
+	ID           string     `json:"id"`
+	State        State      `json:"state"`
+	Request      RunRequest `json:"request"`
+	CompletedOps int64      `json:"completed_ops"`
+	Error        string     `json:"error,omitempty"`
+	SubmittedAt  time.Time  `json:"submitted_at"`
+	StartedAt    *time.Time `json:"started_at,omitempty"`
+	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+}
+
+// status snapshots the job for JSON encoding. The result is returned
+// separately: the snapshot endpoint inlines it, the stream sends it as
+// its own line.
+func (j *job) status() (JobStatus, *edm.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:           j.id,
+		State:        j.state,
+		Request:      j.req,
+		CompletedOps: j.completedOps.Load(),
+		Error:        j.err,
+		SubmittedAt:  j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.FinishedAt = &t
+	}
+	return st, j.result
+}
+
+// progressRecorder counts completed file operations from inside the
+// simulation so handlers can report live progress. It embeds the no-op
+// recorder and overrides exactly one event; the atomic is required
+// because the worker goroutine writes while HTTP handlers read.
+type progressRecorder struct {
+	telemetry.Nop
+	n *atomic.Int64
+}
+
+func (p progressRecorder) RequestComplete(telemetry.RequestComplete) { p.n.Add(1) }

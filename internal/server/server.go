@@ -1,0 +1,274 @@
+// Package server is the edmd serving layer: an HTTP API that accepts
+// simulation runs as jobs, executes them on a bounded worker pool
+// behind a fixed-depth admission queue, and streams progress and
+// results as NDJSON.
+//
+// Admission control is strict: a full queue rejects the submit with
+// ErrQueueFull (HTTP 429 + Retry-After) instead of queueing unboundedly
+// — a saturated simulation box must push back, not fall over. Every job
+// runs under a context; DELETE /v1/runs/{id} cancels it and the
+// discrete-event engine observes the cancellation within one
+// sim.CancelCheckInterval. Shutdown drains: accepted jobs finish,
+// new submissions are refused, and a drain deadline force-cancels
+// whatever is still running.
+//
+// The API (all request/response bodies are JSON):
+//
+//	POST   /v1/runs          submit a RunRequest → 201 + JobStatus
+//	GET    /v1/runs          list job statuses
+//	GET    /v1/runs/{id}     one job's status (+ result once done)
+//	GET    /v1/runs/{id}/stream  NDJSON: status, progress…, result
+//	DELETE /v1/runs/{id}     cancel → 200 + JobStatus
+//	GET    /healthz          liveness + queue/worker occupancy
+//	GET    /metricsz         text metrics from the telemetry registry
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edm"
+	"edm/internal/sim"
+	"edm/internal/telemetry"
+)
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity; the HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrShuttingDown is returned by Submit once Shutdown has begun; the
+// HTTP layer maps it to 503.
+var ErrShuttingDown = errors.New("server: shutting down")
+
+// errUnknownJob is returned by lookups for ids the server never issued
+// (or that predate a restart); the HTTP layer maps it to 404.
+var errUnknownJob = errors.New("server: unknown job")
+
+// Config describes a Server.
+type Config struct {
+	// Workers is the number of simulations run concurrently
+	// (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth is the number of accepted-but-not-yet-running jobs the
+	// server holds before refusing submissions (default 64).
+	QueueDepth int
+	// JobTimeout caps each job's wall-clock execution; 0 means no cap.
+	// A request's timeout_s is honoured up to this cap.
+	JobTimeout time.Duration
+	// StreamInterval is the progress cadence of the NDJSON stream
+	// endpoint (default 250ms).
+	StreamInterval time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = 250 * time.Millisecond
+	}
+}
+
+// Server owns the job store, the admission queue and the worker pool.
+// Create with New, serve Handler(), stop with Shutdown.
+type Server struct {
+	cfg     Config
+	started time.Time
+
+	// baseCtx parents every job context; baseCancel is the drain
+	// deadline's hammer.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue   chan *job
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for GET /v1/runs
+	nextID   uint64
+	draining bool
+
+	// Serving metrics, exported by /metricsz through the telemetry
+	// registry. Atomics: workers write, scrape handlers read.
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	cancelled atomic.Uint64
+	running   atomic.Int64
+
+	reg *telemetry.Registry
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.applyDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		started:    time.Now(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *job, cfg.QueueDepth),
+		jobs:       make(map[string]*job),
+	}
+	s.reg = s.buildRegistry()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// buildRegistry wires the serving counters into the shared telemetry
+// registry type; /metricsz snapshots it per scrape.
+func (s *Server) buildRegistry() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	reg.Gauge("uptime_seconds", func(sim.Time) float64 { return time.Since(s.started).Seconds() })
+	reg.Gauge("jobs_accepted_total", func(sim.Time) float64 { return float64(s.accepted.Load()) })
+	reg.Gauge("jobs_rejected_total", func(sim.Time) float64 { return float64(s.rejected.Load()) })
+	reg.Gauge("jobs_completed_total", func(sim.Time) float64 { return float64(s.completed.Load()) })
+	reg.Gauge("jobs_failed_total", func(sim.Time) float64 { return float64(s.failed.Load()) })
+	reg.Gauge("jobs_cancelled_total", func(sim.Time) float64 { return float64(s.cancelled.Load()) })
+	reg.Gauge("jobs_running", func(sim.Time) float64 { return float64(s.running.Load()) })
+	reg.Gauge("queue_depth", func(sim.Time) float64 { return float64(len(s.queue)) })
+	reg.Gauge("queue_capacity", func(sim.Time) float64 { return float64(cap(s.queue)) })
+	reg.Gauge("workers", func(sim.Time) float64 { return float64(s.cfg.Workers) })
+	return reg
+}
+
+// Submit validates and admits one run request. It never blocks: a full
+// queue returns ErrQueueFull immediately (backpressure), a draining
+// server ErrShuttingDown, and a bad request the validation error.
+func (s *Server) Submit(req RunRequest) (JobStatus, error) {
+	spec, err := req.Spec()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected.Add(1)
+		return JobStatus{}, ErrShuttingDown
+	}
+	s.nextID++
+	j := newJob(fmt.Sprintf("run-%08d", s.nextID), req, spec)
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID-- // id was never issued
+		s.rejected.Add(1)
+		return JobStatus{}, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.accepted.Add(1)
+	st, _ := j.status()
+	return st, nil
+}
+
+// lookup finds a job by id.
+func (s *Server) lookup(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", errUnknownJob, id)
+	}
+	return j, nil
+}
+
+// statuses snapshots every job in submission order.
+func (s *Server) statuses() []JobStatus {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i], _ = j.status()
+	}
+	return out
+}
+
+// worker executes queued jobs until the queue is closed by Shutdown.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job under its context and records the outcome.
+func (s *Server) runJob(j *job) {
+	timeout := s.cfg.JobTimeout
+	if t := time.Duration(j.req.TimeoutS * float64(time.Second)); t > 0 && (timeout == 0 || t < timeout) {
+		timeout = t
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, timeout)
+	}
+	defer cancel()
+	if !j.begin(cancel) {
+		s.cancelled.Add(1)
+		return
+	}
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	spec := j.spec
+	// The recorder is observational only: a recorded run stays
+	// byte-identical to an unrecorded one (the e2e test pins this).
+	spec.Cluster.Recorder = progressRecorder{n: &j.completedOps}
+	res, err := edm.RunContext(ctx, spec)
+	j.finish(res, err)
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.cancelled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+}
+
+// Shutdown drains the server: submissions are refused from now on,
+// queued and running jobs keep executing, and the call returns when the
+// workers are idle. If ctx expires first, every in-flight job's context
+// is cancelled (the engines stop within one check interval) and the
+// workers are awaited before returning ctx's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // force-cancel in-flight runs, then drain queued jobs fast
+		<-idle
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,593 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"edm"
+)
+
+// fastReq is a run small enough (~15ms) for end-to-end round trips.
+func fastReq() RunRequest {
+	return RunRequest{Workload: "home02", Scale: 400, OSDs: 16, Seed: 3}
+}
+
+// slowReq is a run long enough (seconds of replay, more under -race)
+// that tests can observe and interrupt it mid-flight.
+func slowReq() RunRequest {
+	return RunRequest{Workload: "home02", Scale: 2, OSDs: 16, Seed: 3}
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.StreamInterval == 0 {
+		cfg.StreamInterval = 10 * time.Millisecond
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req RunRequest) (JobStatus, *http.Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusCreated {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatalf("decoding submit response: %v", err)
+		}
+	}
+	return st, resp
+}
+
+// getStatus fetches one job's status view.
+func getStatus(t *testing.T, ts *httptest.Server, id string) (JobStatus, json.RawMessage) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/runs/%s: status %d", id, resp.StatusCode)
+	}
+	var view struct {
+		JobStatus
+		Result json.RawMessage `json:"result,omitempty"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view.JobStatus, view.Result
+}
+
+// waitState polls until the job reaches want (or any terminal state if
+// want is empty), failing the test on timeout.
+func waitState(t *testing.T, ts *httptest.Server, id string, want State, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, _ := getStatus(t, ts, id)
+		if st.State == want || (want == "" && st.State.Terminal()) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in state %q (want %q)", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// waitProgress polls until the job's engine is demonstrably replaying
+// (completed_ops > 0) — "running" alone can still mean trace generation
+// or warm-up, which only observe cancellation at phase boundaries.
+func waitProgress(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, _ := getStatus(t, ts, id)
+		if st.State == StateRunning && st.CompletedOps > 0 {
+			return st
+		}
+		if st.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s: state %q, completed_ops %d — never showed live progress",
+				id, st.State, st.CompletedOps)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestEndToEndStreamMatchesDirectRun is the headline acceptance test:
+// a job submitted over HTTP and streamed to completion must produce a
+// result byte-identical to calling edm.Run directly on the same spec —
+// the serving layer (queue, worker, context, progress recorder) must
+// not perturb the simulation.
+func TestEndToEndStreamMatchesDirectRun(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	req := fastReq()
+
+	st, resp := submit(t, ts, req)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Location"); got != "/v1/runs/"+st.ID {
+		t.Errorf("Location = %q, want %q", got, "/v1/runs/"+st.ID)
+	}
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Errorf("fresh job state = %q", st.State)
+	}
+
+	// Follow the NDJSON stream to the terminal line.
+	sresp, err := http.Get(ts.URL + "/v1/runs/" + st.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	var lines []struct {
+		Type   string          `json:"type"`
+		Status *JobStatus      `json:"status"`
+		Run    json.RawMessage `json:"run"`
+		Error  string          `json:"error"`
+	}
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	for sc.Scan() {
+		var line struct {
+			Type   string          `json:"type"`
+			Status *JobStatus      `json:"status"`
+			Run    json.RawMessage `json:"run"`
+			Error  string          `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) < 2 {
+		t.Fatalf("stream produced %d lines, want >= 2 (status + result)", len(lines))
+	}
+	if lines[0].Type != "status" {
+		t.Errorf("first stream line type = %q, want status", lines[0].Type)
+	}
+	last := lines[len(lines)-1]
+	if last.Type != "result" || last.Error != "" {
+		t.Fatalf("terminal stream line: type=%q error=%q", last.Type, last.Error)
+	}
+	if last.Status.State != StateDone {
+		t.Errorf("terminal state = %q", last.Status.State)
+	}
+	if last.Status.CompletedOps == 0 {
+		t.Errorf("terminal completed_ops = 0, want > 0 (progress recorder not wired)")
+	}
+
+	// Byte-for-byte comparison against a direct library run.
+	spec, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := edm.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(last.Run), bytes.TrimSpace(want)) {
+		t.Errorf("streamed result differs from direct edm.Run:\n stream: %.200s\n direct: %.200s", last.Run, want)
+	}
+
+	// The snapshot endpoint must agree with the stream.
+	st2, res := getStatus(t, ts, st.ID)
+	if st2.State != StateDone {
+		t.Errorf("GET status after done = %q", st2.State)
+	}
+	if !bytes.Equal(bytes.TrimSpace(res), bytes.TrimSpace(want)) {
+		t.Errorf("snapshot result differs from direct edm.Run")
+	}
+}
+
+// TestCancelRunningJob pins the cancellation acceptance criterion:
+// DELETE on a running job returns 200 and the worker observes
+// context.Canceled promptly — far sooner than the multi-second run
+// would take to finish.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	st, resp := submit(t, ts, slowReq())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitProgress(t, ts, st.ID, 30*time.Second)
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+st.ID, nil)
+	t0 := time.Now()
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: status %d, want 200", delResp.StatusCode)
+	}
+
+	// The replay takes seconds uncancelled; one engine check interval
+	// is sub-millisecond. A generous 2s bound still proves promptness.
+	final := waitState(t, ts, st.ID, "", 2*time.Second)
+	if final.State != StateCancelled {
+		t.Fatalf("final state = %q, want cancelled", final.State)
+	}
+	if !strings.Contains(final.Error, context.Canceled.Error()) {
+		t.Errorf("cancelled job error = %q, want it to mention %q", final.Error, context.Canceled)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// TestCancelQueuedJob: a job cancelled before a worker picks it up goes
+// terminal immediately and never runs.
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	blocker, _ := submit(t, ts, slowReq())
+	waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+	queued, resp := submit(t, ts, fastReq())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit queued job: status %d", resp.StatusCode)
+	}
+
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+queued.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after JobStatus
+	if err := json.NewDecoder(delResp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if after.State != StateCancelled {
+		t.Errorf("queued job state after DELETE = %q, want cancelled immediately", after.State)
+	}
+
+	// Unblock the worker; the cancelled job must stay cancelled (the
+	// worker skips it rather than running it).
+	delReq2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+blocker.ID, nil)
+	delResp2, _ := http.DefaultClient.Do(delReq2)
+	delResp2.Body.Close()
+	time.Sleep(50 * time.Millisecond)
+	final, _ := getStatus(t, ts, queued.ID)
+	if final.State != StateCancelled || final.StartedAt != nil {
+		t.Errorf("skipped job: state=%q started_at=%v", final.State, final.StartedAt)
+	}
+}
+
+// TestQueueFullReturns429 pins the backpressure acceptance criterion.
+func TestQueueFullReturns429(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	blocker, _ := submit(t, ts, slowReq())
+	waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+	queued, resp := submit(t, ts, fastReq())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("filling queue: status %d", resp.StatusCode)
+	}
+
+	_, resp = submit(t, ts, fastReq())
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-capacity submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 response missing Retry-After header")
+	}
+
+	// Draining the queue restores admission.
+	for _, id := range []string{queued.ID, blocker.ID} {
+		delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+id, nil)
+		delResp, _ := http.DefaultClient.Do(delReq)
+		delResp.Body.Close()
+	}
+	waitState(t, ts, blocker.ID, "", 30*time.Second)
+	if _, resp := submit(t, ts, fastReq()); resp.StatusCode != http.StatusCreated {
+		t.Errorf("submit after drain: status %d, want 201", resp.StatusCode)
+	}
+}
+
+// TestSubmitValidation maps bad requests to 400 with explanatory
+// errors, including the sentinel-backed unknown-workload case.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	cases := []struct {
+		name string
+		body string
+		want string // substring of the error
+	}{
+		{"missing workload", `{}`, "missing workload"},
+		{"unknown workload", `{"workload":"nope"}`, "unknown workload"},
+		{"bad policy", `{"workload":"home02","policy":"zigzag"}`, "policy"},
+		{"bad migration", `{"workload":"home02","migration":"sometimes"}`, "migration"},
+		{"negative scale", `{"workload":"home02","scale":-1}`, "scale"},
+		{"negative timeout", `{"workload":"home02","timeout_s":-3}`, "timeout_s"},
+		{"unknown field", `{"workload":"home02","wat":1}`, "wat"},
+		{"malformed json", `{"workload"`, "bad request body"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var ae apiError
+			if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(ae.Error, tc.want) {
+				t.Errorf("error %q does not mention %q", ae.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestUnknownJobIs404 covers status, stream and cancel lookups.
+func TestUnknownJobIs404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	for _, probe := range []struct{ method, path string }{
+		{http.MethodGet, "/v1/runs/run-99999999"},
+		{http.MethodGet, "/v1/runs/run-99999999/stream"},
+		{http.MethodDelete, "/v1/runs/run-99999999"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: status %d, want 404", probe.method, probe.path, resp.StatusCode)
+		}
+	}
+}
+
+// TestListAndObservability exercises GET /v1/runs, /healthz, /metricsz.
+func TestListAndObservability(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	a, _ := submit(t, ts, fastReq())
+	b, _ := submit(t, ts, fastReq())
+	waitState(t, ts, a.ID, StateDone, 5*time.Second)
+	waitState(t, ts, b.ID, StateDone, 5*time.Second)
+
+	resp, err := http.Get(ts.URL + "/v1/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Runs []JobStatus `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Runs) != 2 || list.Runs[0].ID != a.ID || list.Runs[1].ID != b.ID {
+		t.Errorf("list = %+v, want [%s %s] in submission order", list.Runs, a.ID, b.ID)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status        string `json:"status"`
+		Workers       int    `json:"workers"`
+		QueueCapacity int    `json:"queue_capacity"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hz.Status != "ok" || hz.Workers != 2 || hz.QueueCapacity != 4 {
+		t.Errorf("healthz = %d %+v", resp.StatusCode, hz)
+	}
+
+	resp, err = http.Get(ts.URL + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(strings.Builder)
+	sc := bufio.NewScanner(resp.Body)
+	metrics := map[string]float64{}
+	for sc.Scan() {
+		fmt.Fprintln(raw, sc.Text())
+		var name string
+		var val float64
+		if _, err := fmt.Sscanf(sc.Text(), "%s %v", &name, &val); err == nil {
+			metrics[name] = val
+		}
+	}
+	resp.Body.Close()
+	if metrics["edmd_jobs_accepted_total"] != 2 || metrics["edmd_jobs_completed_total"] != 2 {
+		t.Errorf("metricsz counters wrong:\n%s", raw)
+	}
+	if metrics["edmd_workers"] != 2 {
+		t.Errorf("edmd_workers = %v, want 2", metrics["edmd_workers"])
+	}
+}
+
+// TestShutdownDrains: a graceful shutdown finishes queued work, then
+// refuses new submissions with ErrShuttingDown (503 over HTTP).
+func TestShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	a, _ := submit(t, ts, fastReq())
+	b, _ := submit(t, ts, fastReq())
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	for _, id := range []string{a.ID, b.ID} {
+		st, _ := getStatus(t, ts, id)
+		if st.State != StateDone {
+			t.Errorf("job %s after drain: state %q, want done", id, st.State)
+		}
+	}
+
+	_, resp := submit(t, ts, fastReq())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", resp.StatusCode)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: status %d, want 503", hz.StatusCode)
+	}
+}
+
+// TestShutdownDeadlineForceCancels: when the drain deadline passes, the
+// in-flight run's context is cancelled and Shutdown still returns with
+// all workers stopped.
+func TestShutdownDeadlineForceCancels(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	st, _ := submit(t, ts, slowReq())
+	waitProgress(t, ts, st.ID, 30*time.Second)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
+	}
+	final, _ := getStatus(t, ts, st.ID)
+	if final.State != StateCancelled {
+		t.Errorf("in-flight job after forced shutdown: state %q, want cancelled", final.State)
+	}
+}
+
+// TestNoGoroutineLeaks runs a submit/cancel/complete mix through a full
+// server lifecycle and checks the goroutine count returns to its
+// pre-server baseline.
+func TestNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := New(Config{Workers: 2, QueueDepth: 4, StreamInterval: 10 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	done, _ := submit(t, ts, fastReq())
+	slow, _ := submit(t, ts, slowReq())
+	waitState(t, ts, done.ID, StateDone, 5*time.Second)
+	waitProgress(t, ts, slow.ID, 30*time.Second)
+	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+slow.ID, nil)
+	delResp, err := http.DefaultClient.Do(delReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	waitState(t, ts, slow.ID, "", 2*time.Second)
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	// The httptest listener and HTTP keep-alives wind down
+	// asynchronously; poll briefly before declaring a leak.
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines: %d before, %d after shutdown\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestSentinelErrors is the table-driven errors.Is coverage for the
+// serving layer's sentinels.
+func TestSentinelErrors(t *testing.T) {
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	// Saturate: one running (popped from queue) plus one queued.
+	if _, err := s.Submit(slowReq()); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to pop the first job so the next submit
+	// deterministically lands in the queue slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never picked up the first job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := s.Submit(fastReq()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, errFull := s.Submit(fastReq())
+	_, errBadWorkload := RunRequest{Workload: "nope"}.Spec()
+	_, errUnknown := s.lookup("run-404")
+
+	cases := []struct {
+		name   string
+		err    error
+		target error
+		want   bool
+	}{
+		{"queue full is ErrQueueFull", errFull, ErrQueueFull, true},
+		{"queue full is not shutting down", errFull, ErrShuttingDown, false},
+		{"bad workload is edm.ErrUnknownWorkload", errBadWorkload, edm.ErrUnknownWorkload, true},
+		{"bad workload is not queue full", errBadWorkload, ErrQueueFull, false},
+		{"unknown job sentinel", errUnknown, errUnknownJob, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.err == nil {
+				t.Fatal("expected a non-nil error")
+			}
+			if got := errors.Is(tc.err, tc.target); got != tc.want {
+				t.Errorf("errors.Is(%v, %v) = %v, want %v", tc.err, tc.target, got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// rearmAction reschedules itself forever (until the run is interrupted)
+// and can trip a context.CancelFunc at a chosen fire count.
+type rearmAction struct {
+	e        *Engine
+	n        int
+	cancelAt int
+	cancel   context.CancelFunc
+}
+
+func (a *rearmAction) Fire(Time) {
+	a.n++
+	if a.cancel != nil && a.n == a.cancelAt {
+		a.cancel()
+	}
+	a.e.AfterAction(1, a)
+}
+
+func TestRunContextDrainsLikeRun(t *testing.T) {
+	e := New()
+	fired := 0
+	for i := 0; i < 10; i++ {
+		e.After(Time(i), func(Time) { fired++ })
+	}
+	if err := e.RunContext(context.Background()); err != nil {
+		t.Fatalf("RunContext: %v", err)
+	}
+	if fired != 10 || e.Pending() != 0 {
+		t.Fatalf("fired %d, pending %d", fired, e.Pending())
+	}
+}
+
+func TestRunContextPreCancelledFiresNothing(t *testing.T) {
+	e := New()
+	e.After(1, func(Time) { t.Fatal("event fired under a dead context") })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("queue should be left intact, pending %d", e.Pending())
+	}
+}
+
+func TestRunContextCancelMidRunStopsWithinOneCheckInterval(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	act := &rearmAction{e: e, cancelAt: 10*CancelCheckInterval + 7, cancel: cancel}
+	e.AfterAction(1, act)
+	err := e.RunContext(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	over := act.n - act.cancelAt
+	if over < 0 || over > CancelCheckInterval {
+		t.Fatalf("engine fired %d events after cancellation (check interval %d)", over, CancelCheckInterval)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("interrupted queue should keep the pending event, got %d", e.Pending())
+	}
+}
+
+func TestRunContextResumesAfterInterrupt(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	act := &rearmAction{e: e, cancelAt: CancelCheckInterval, cancel: cancel}
+	e.AfterAction(1, act)
+	if err := e.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first run: %v", err)
+	}
+	// The interrupted engine keeps its queue: stepping it manually
+	// continues exactly where the cancelled run stopped.
+	interrupted := act.n
+	for i := 0; i < 5; i++ {
+		if !e.Step() {
+			t.Fatal("queue drained unexpectedly")
+		}
+	}
+	if act.n != interrupted+5 {
+		t.Fatalf("resume fired %d events, want 5", act.n-interrupted)
+	}
+}
+
+func TestRunContextReentrantPanics(t *testing.T) {
+	e := New()
+	e.After(1, func(Time) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("re-entrant RunContext should panic")
+			}
+		}()
+		_ = e.RunContext(context.Background())
+	})
+	if err := e.RunContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The cancellation poll must not allocate: the engine cycle is pinned at
+// zero allocations and RunContext sits directly on top of it.
+func TestRunContextSteadyStateZeroAlloc(t *testing.T) {
+	e := New()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	act := &countAction{}
+	e.AfterAction(1, act)
+	if err := e.RunContext(ctx); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			e.AfterAction(1, act)
+		}
+		if err := e.RunContext(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("RunContext steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}

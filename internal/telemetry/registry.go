@@ -112,11 +112,19 @@ func (r *Registry) Rows() []SnapshotRow { return r.rows }
 
 // Sample records one snapshot row at virtual time now.
 func (r *Registry) Sample(now sim.Time) {
+	r.rows = append(r.rows, SnapshotRow{T: now, Values: r.Snapshot(now)})
+}
+
+// Snapshot evaluates every column at now without appending to the
+// snapshot series — the scrape path (edmd's /metricsz) samples on
+// demand and must not grow state per scrape. Values are returned in
+// Names() order.
+func (r *Registry) Snapshot(now sim.Time) []float64 {
 	vals := make([]float64, len(r.sample))
 	for i, fn := range r.sample {
 		vals[i] = fn(now)
 	}
-	r.rows = append(r.rows, SnapshotRow{T: now, Values: vals})
+	return vals
 }
 
 // StartSampling schedules Sample on the engine every interval of

@@ -13,6 +13,7 @@
 package trace
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -166,6 +167,12 @@ var profiles = []Profile{
 		Users: 192, WriteSkew: 1.25, ReadSkew: 1.10, MeanFileSize: 256 << 10, FileSizeCV: 2.5, RepeatProb: 0.65,
 		ReadWriteAffinity: 0.85, HotFileSizeBoost: 1.8, ZipfOffset: 15, WriteWorkingSet: 0.20, PopularityDrift: 0.20},
 }
+
+// ErrUnknownProfile tags workload-name lookup failures across the
+// stack; edm.ErrUnknownWorkload re-exports it, so errors.Is works the
+// same whether the lookup failed in the library, an experiment, or the
+// serving layer.
+var ErrUnknownProfile = errors.New("unknown workload profile")
 
 // LookupProfile returns the named Harvard profile.
 func LookupProfile(name string) (Profile, bool) {
