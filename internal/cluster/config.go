@@ -55,6 +55,41 @@ func (m MigrationMode) String() string {
 	return fmt.Sprintf("MigrationMode(%d)", int(m))
 }
 
+// ParseMigrationMode maps a user-facing name (never, midpoint,
+// periodic) to a mode. Unknown values yield an error naming every
+// valid option.
+func ParseMigrationMode(s string) (MigrationMode, error) {
+	switch s {
+	case "never":
+		return MigrateNever, nil
+	case "midpoint":
+		return MigrateMidpoint, nil
+	case "periodic":
+		return MigratePeriodic, nil
+	}
+	return 0, fmt.Errorf("unknown migration mode %q (valid: never, midpoint, periodic)", s)
+}
+
+// MarshalText encodes the mode by name, so specs holding one serialize
+// to readable JSON (the wire format cell specs ship to edmd workers).
+func (m MigrationMode) MarshalText() ([]byte, error) {
+	switch m {
+	case MigrateNever, MigrateMidpoint, MigratePeriodic:
+		return []byte(m.String()), nil
+	}
+	return nil, fmt.Errorf("cluster: cannot marshal %v", m)
+}
+
+// UnmarshalText decodes the names MarshalText produces.
+func (m *MigrationMode) UnmarshalText(text []byte) error {
+	v, err := ParseMigrationMode(string(text))
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	*m = v
+	return nil
+}
+
 // Config describes a simulated cluster.
 type Config struct {
 	// OSDs is the number of object storage devices (each with one SSD).

@@ -1,0 +1,329 @@
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"edm"
+	"edm/internal/experiment"
+	"edm/internal/server"
+)
+
+// ClientConfig describes a Client for one edmd worker.
+type ClientConfig struct {
+	// BaseURL is the worker's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (default: a plain http.Client;
+	// per-call deadlines come from contexts, not a client timeout).
+	HTTP *http.Client
+	// MaxRetries bounds the transient-failure retries per HTTP call
+	// (default 4; the first attempt is not a retry).
+	MaxRetries int
+	// RetryBase/RetryMax shape the backoff between retries: the delay
+	// doubles from RetryBase, is capped at RetryMax, and is jittered
+	// to half-to-full value (defaults 50ms / 2s). A 429 or 503 with
+	// Retry-After overrides the computed delay.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// PollInterval is the job-status polling cadence while a submitted
+	// run executes (default 100ms).
+	PollInterval time.Duration
+}
+
+func (c *ClientConfig) applyDefaults() {
+	if c.HTTP == nil {
+		c.HTTP = &http.Client{}
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 100 * time.Millisecond
+	}
+}
+
+// Client is a typed HTTP client for one edmd worker. It is safe for
+// concurrent use; Retries exposes how many transient-failure retries
+// it has performed (the coordinator's per-worker counter).
+type Client struct {
+	cfg ClientConfig
+
+	// Retries counts HTTP attempts beyond the first, across all calls.
+	Retries atomic.Uint64
+}
+
+// NewClient builds a client for the worker at cfg.BaseURL.
+func NewClient(cfg ClientConfig) *Client {
+	cfg.applyDefaults()
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	return &Client{cfg: cfg}
+}
+
+// BaseURL returns the worker's root URL.
+func (c *Client) BaseURL() string { return c.cfg.BaseURL }
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	Running       int64   `json:"running"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+}
+
+// OK reports whether the worker is accepting work (not draining).
+func (h Health) OK() bool { return h.Status == "ok" }
+
+// Health probes GET /healthz once — no retries; the caller is usually
+// deciding liveness and wants the answer now. A draining worker (503
+// with a JSON body) decodes successfully with OK() == false.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.cfg.BaseURL+"/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return Health{}, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.cfg.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return Health{}, fmt.Errorf("%w: %s: bad healthz body: %v", ErrUnavailable, c.cfg.BaseURL, err)
+	}
+	return h, nil
+}
+
+// Version fetches GET /v1/version (with retries: it is part of fleet
+// bring-up, where a worker may still be binding its listener).
+func (c *Client) Version(ctx context.Context) (server.VersionInfo, error) {
+	var v server.VersionInfo
+	err := c.do(ctx, http.MethodGet, "/v1/version", nil, &v)
+	return v, err
+}
+
+// Submit posts one run request and returns the accepted job's status.
+// Queue-full (429) and transient failures are retried; exhausted
+// retries surface as ErrUnavailable.
+func (c *Client) Submit(ctx context.Context, req server.RunRequest) (server.JobStatus, error) {
+	var st server.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/runs", req, &st)
+	return st, err
+}
+
+// runView mirrors the GET /v1/runs/{id} body.
+type runView struct {
+	server.JobStatus
+	Result *edm.Result `json:"result,omitempty"`
+}
+
+// Status fetches one job's status; once the job is done the result is
+// attached.
+func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, *edm.Result, error) {
+	var view runView
+	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &view); err != nil {
+		return server.JobStatus{}, nil, err
+	}
+	return view.JobStatus, view.Result, nil
+}
+
+// Cancel requests cancellation of a job (best effort: a terminal job
+// is left as is).
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/runs/"+id, nil, nil)
+}
+
+// Run executes one request end to end: submit, poll until terminal,
+// return the result. A job the worker reports as failed or cancelled
+// returns an error wrapping ErrRunFailed; a worker that stops
+// answering returns one wrapping ErrUnavailable.
+func (c *Client) Run(ctx context.Context, req server.RunRequest) (*edm.Result, error) {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	tick := time.NewTicker(c.cfg.PollInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+		cur, res, err := c.Status(ctx, st.ID)
+		if err != nil {
+			return nil, err
+		}
+		switch cur.State {
+		case server.StateDone:
+			if res == nil {
+				return nil, fmt.Errorf("%w: %s: job %s done without result", ErrUnavailable, c.cfg.BaseURL, st.ID)
+			}
+			return res, nil
+		case server.StateFailed, server.StateCancelled:
+			return nil, fmt.Errorf("%w: job %s %s on %s: %s", ErrRunFailed, st.ID, cur.State, c.cfg.BaseURL, cur.Error)
+		}
+	}
+}
+
+// RunCell executes one cell spec remotely. The worker runs the exact
+// simulation experiment.RunCell would run locally — the request
+// carries every field of the spec and nothing else.
+func (c *Client) RunCell(ctx context.Context, spec experiment.CellSpec) (*edm.Result, error) {
+	return c.Run(ctx, RequestForCell(spec))
+}
+
+// RequestForCell converts a cell spec to the wire request an edmd
+// worker executes. The mapping is total: every CellSpec field lands in
+// the request, and the worker-side defaults (groups=4, k=4) match the
+// local harness, so remote and local runs are byte-identical.
+func RequestForCell(spec experiment.CellSpec) server.RunRequest {
+	name, err := spec.Policy.MarshalText()
+	if err != nil {
+		name = []byte(spec.Policy.String())
+	}
+	return server.RunRequest{
+		Workload: spec.Trace,
+		Scale:    spec.Scale,
+		OSDs:     spec.OSDs,
+		Policy:   string(name),
+		Lambda:   spec.Lambda,
+		Seed:     spec.Seed,
+		Check:    spec.Check,
+	}
+}
+
+// do performs one JSON request/response exchange with the retry
+// policy: transport errors, 5xx and 429 are retried with capped
+// exponential backoff + jitter (Retry-After, integer seconds per RFC
+// 9110, overrides the wait when present); other 4xx are permanent.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.Retries.Add(1)
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		retryIn, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if retryIn < 0 || attempt >= c.cfg.MaxRetries { // permanent, or out of retries
+			if retryIn < 0 {
+				return err
+			}
+			return fmt.Errorf("%w: %s: %d attempts: %v", ErrUnavailable, c.cfg.BaseURL, attempt+1, lastErr)
+		}
+		if retryIn == 0 {
+			retryIn = c.backoff(attempt)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(retryIn):
+		}
+	}
+}
+
+// attempt performs one HTTP exchange. The returned duration encodes
+// the retry decision: <0 permanent failure, 0 retryable (use computed
+// backoff), >0 retryable after exactly that wait (server-provided).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (time.Duration, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return -1, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return -1, ctx.Err()
+		}
+		return 0, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.cfg.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		if out == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			return 0, nil
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return 0, fmt.Errorf("%w: %s: decoding %s %s: %v", ErrUnavailable, c.cfg.BaseURL, method, path, err)
+		}
+		return 0, nil
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		return retryAfter(resp), fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, apiErrorText(resp.Body))
+	default:
+		return -1, fmt.Errorf("dispatch: %s: %s %s: %s: %s", c.cfg.BaseURL, method, path, resp.Status, apiErrorText(resp.Body))
+	}
+}
+
+// backoff computes the jittered exponential delay for a retry attempt:
+// uniformly random in [d/2, d] where d = min(base<<attempt, max).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.RetryBase << attempt
+	if d > c.cfg.RetryMax || d <= 0 {
+		d = c.cfg.RetryMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// retryAfter parses a Retry-After header as the integer seconds RFC
+// 9110 specifies (0 when absent or malformed).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// apiErrorText extracts the server's JSON error message, falling back
+// to the raw body.
+func apiErrorText(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 4<<10))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}

@@ -1,0 +1,237 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"edm/internal/server"
+)
+
+func TestClientRetriesTransientThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			json.NewEncoder(w).Encode(map[string]string{"error": "transient"})
+			return
+		}
+		json.NewEncoder(w).Encode(server.VersionInfo{Service: "edmd", Version: "x"})
+	}))
+	defer ts.Close()
+
+	cfg := fastClient()
+	cfg.BaseURL = ts.URL
+	c := NewClient(cfg)
+	v, err := c.Version(context.Background())
+	if err != nil {
+		t.Fatalf("Version after transient failures: %v", err)
+	}
+	if v.Service != "edmd" {
+		t.Errorf("decoded %+v", v)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3", got)
+	}
+	if got := c.Retries.Load(); got != 2 {
+		t.Errorf("Retries = %d, want 2", got)
+	}
+}
+
+func TestClientPermanent4xxDoesNotRetry(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		json.NewEncoder(w).Encode(map[string]string{"error": "no such run"})
+	}))
+	defer ts.Close()
+
+	cfg := fastClient()
+	cfg.BaseURL = ts.URL
+	c := NewClient(cfg)
+	_, _, err := c.Status(context.Background(), "nope")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if errors.Is(err, ErrUnavailable) {
+		t.Errorf("4xx misclassified as unavailability: %v", err)
+	}
+	if !strings.Contains(err.Error(), "no such run") {
+		t.Errorf("server's error message lost: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (no retries)", got)
+	}
+	if got := c.Retries.Load(); got != 0 {
+		t.Errorf("Retries = %d, want 0", got)
+	}
+}
+
+func TestClientExhaustsRetriesAsUnavailable(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	cfg := fastClient() // MaxRetries: 2
+	cfg.BaseURL = ts.URL
+	c := NewClient(cfg)
+	_, err := c.Version(context.Background())
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (1 + MaxRetries)", got)
+	}
+}
+
+// TestAttemptHonoursRetryAfter pins the 429 contract end to end at the
+// attempt level: a Retry-After of integer seconds (RFC 9110) becomes
+// exactly that wait, overriding the computed backoff; absence of the
+// header means "use the computed backoff" (a zero return).
+func TestAttemptHonoursRetryAfter(t *testing.T) {
+	var withHeader atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if withHeader.Load() {
+			w.Header().Set("Retry-After", "7")
+		}
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(map[string]string{"error": "queue full"})
+	}))
+	defer ts.Close()
+
+	cfg := fastClient()
+	cfg.BaseURL = ts.URL
+	c := NewClient(cfg)
+
+	withHeader.Store(true)
+	wait, err := c.attempt(context.Background(), http.MethodGet, "/v1/version", nil, nil)
+	if err == nil {
+		t.Fatal("want error from 429")
+	}
+	if wait != 7*time.Second {
+		t.Errorf("wait = %v, want 7s from Retry-After", wait)
+	}
+
+	withHeader.Store(false)
+	wait, err = c.attempt(context.Background(), http.MethodGet, "/v1/version", nil, nil)
+	if err == nil {
+		t.Fatal("want error from 429")
+	}
+	if wait != 0 {
+		t.Errorf("wait = %v, want 0 (computed backoff) without Retry-After", wait)
+	}
+}
+
+func TestRetryAfterParsing(t *testing.T) {
+	for _, tc := range []struct {
+		header string
+		want   time.Duration
+	}{
+		{"", 0},
+		{"1", time.Second},
+		{"30", 30 * time.Second},
+		{"-5", 0},
+		{"soon", 0},
+		{"1.5", 0}, // RFC 9110 delay-seconds is an integer
+	} {
+		resp := &http.Response{Header: http.Header{}}
+		if tc.header != "" {
+			resp.Header.Set("Retry-After", tc.header)
+		}
+		if got := retryAfter(resp); got != tc.want {
+			t.Errorf("retryAfter(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffBounds(t *testing.T) {
+	cfg := ClientConfig{RetryBase: 10 * time.Millisecond, RetryMax: 80 * time.Millisecond}
+	c := NewClient(cfg)
+	for attempt := 0; attempt < 12; attempt++ {
+		ceil := cfg.RetryBase << attempt
+		if ceil > cfg.RetryMax || ceil <= 0 {
+			ceil = cfg.RetryMax
+		}
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt)
+			if d < ceil/2 || d > ceil {
+				t.Fatalf("backoff(%d) = %v outside [%v, %v]", attempt, d, ceil/2, ceil)
+			}
+		}
+	}
+}
+
+func TestHealthDecodesDrainingWorker(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(Health{Status: "draining", Workers: 2})
+	}))
+	defer ts.Close()
+
+	cfg := fastClient()
+	cfg.BaseURL = ts.URL
+	h, err := NewClient(cfg).Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.OK() {
+		t.Error("draining worker reported OK")
+	}
+	if h.Status != "draining" || h.Workers != 2 {
+		t.Errorf("decoded %+v", h)
+	}
+}
+
+func TestRunReportsFailedJobAsRunFailed(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(rw http.ResponseWriter, r *http.Request) {
+		rw.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(rw).Encode(server.JobStatus{ID: "j1", State: server.StateQueued})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(rw).Encode(server.JobStatus{ID: "j1", State: server.StateFailed, Error: "unknown workload"})
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := fastClient()
+	cfg.BaseURL = ts.URL
+	_, err := NewClient(cfg).Run(context.Background(), server.RunRequest{Workload: "nope"})
+	if !errors.Is(err, ErrRunFailed) {
+		t.Fatalf("err = %v, want ErrRunFailed", err)
+	}
+	if !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("job error lost: %v", err)
+	}
+}
+
+func TestRunEndToEndAgainstFake(t *testing.T) {
+	w := newFakeWorker(newFakeFleet(nil))
+	defer w.kill()
+
+	cfg := fastClient()
+	cfg.BaseURL = w.url()
+	c := NewClient(cfg)
+	spec := fakeSpec("e2e")
+	res, err := c.RunCell(context.Background(), spec)
+	if err != nil {
+		t.Fatalf("RunCell: %v", err)
+	}
+	if res.Trace != spec.Trace || res.OSDs != spec.OSDs {
+		t.Errorf("result %+v does not match spec %+v", res, spec)
+	}
+}

@@ -1,0 +1,173 @@
+package dispatch
+
+// End-to-end tests against real edmd servers (internal/server over
+// httptest): a distributed sweep must merge into figure tables
+// byte-identical to a local experiment.Matrix run — including when a
+// worker is killed mid-sweep.
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"edm/internal/experiment"
+	"edm/internal/server"
+)
+
+// e2eOpts is small enough for CI (~15ms per cell) but spans two traces
+// and two cluster sizes, so all three figure tables have real shape.
+func e2eOpts() experiment.Options {
+	return experiment.Options{
+		Scale:     400,
+		Seed:      3,
+		OSDCounts: []int{8},
+		Traces:    []string{"home02", "home03"},
+	}
+}
+
+// startWorker boots a real edmd server on an httptest listener.
+func startWorker(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server) {
+	t.Helper()
+	s := server.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+// formatAll renders every matrix figure — the bytes edmctl prints.
+func formatAll(opts experiment.Options, cells []experiment.Cell) string {
+	return experiment.Fig5(opts, cells).Format() + "\n" +
+		experiment.Fig6(opts, cells).Format() + "\n" +
+		experiment.Fig8(opts, cells).Format()
+}
+
+func TestDistributedSweepByteIdenticalToLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	opts := e2eOpts()
+	want := formatAll(opts, experiment.Matrix(opts))
+
+	_, ts1 := startWorker(t, server.Config{Workers: 2, QueueDepth: 32})
+	_, ts2 := startWorker(t, server.Config{Workers: 2, QueueDepth: 32})
+
+	cfg := fastClient()
+	p := New(Config{
+		Workers:      []string{ts1.URL, ts2.URL},
+		Client:       cfg,
+		DisableLocal: true, // prove the fleet did all the work
+		Logf:         t.Logf,
+	})
+	runs, err := p.Run(context.Background(), experiment.MatrixSpecs(opts))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	fromFleet := map[string]int{}
+	for _, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Spec, r.Err)
+		}
+		if r.Worker != ts1.URL && r.Worker != ts2.URL {
+			t.Fatalf("cell %s ran on %q, want a fleet worker", r.Spec, r.Worker)
+		}
+		fromFleet[r.Worker]++
+	}
+	if got := formatAll(opts, Merge(runs)); got != want {
+		t.Errorf("distributed tables differ from local run:\n--- distributed ---\n%s\n--- local ---\n%s", got, want)
+	}
+	t.Logf("cells per worker: %v", fromFleet)
+}
+
+func TestWorkerKilledMidSweepStillByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	opts := e2eOpts()
+	want := formatAll(opts, experiment.Matrix(opts))
+
+	_, ts1 := startWorker(t, server.Config{Workers: 1, QueueDepth: 32})
+	_, ts2 := startWorker(t, server.Config{Workers: 1, QueueDepth: 32})
+
+	p := New(Config{
+		Workers:       []string{ts1.URL, ts2.URL},
+		Client:        fastClient(),
+		Slots:         1,
+		DisableLocal:  true,
+		ProbeInterval: 5 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+
+	// Kill worker 1 once it has been assigned its second cell — i.e.
+	// while the sweep is in full flight and a cell is (very likely)
+	// running on it.
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for p.workers[0].assigned.Load() < 2 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		ts1.Close()
+	}()
+
+	runs, err := p.Run(context.Background(), experiment.MatrixSpecs(opts))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Spec, r.Err)
+		}
+	}
+	if got := formatAll(opts, Merge(runs)); got != want {
+		t.Errorf("tables diverged after mid-sweep worker death:\n--- distributed ---\n%s\n--- local ---\n%s", got, want)
+	}
+	t.Logf("reassigned=%d downs[0]=%d survivor completed=%d",
+		p.reassigns.Load(), p.workers[0].downs.Load(), p.workers[1].completed.Load())
+	if p.workers[1].completed.Load() == 0 {
+		t.Error("survivor completed nothing")
+	}
+}
+
+// TestAllWorkersDownFallsBackToLocal pins graceful degradation: with
+// the whole fleet unreachable, the sweep still completes locally and
+// the tables match the reference run byte for byte.
+func TestAllWorkersDownFallsBackToLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	opts := experiment.Options{Scale: 400, Seed: 3, OSDCounts: []int{8}, Traces: []string{"home02"}}
+	want := formatAll(opts, experiment.Matrix(opts))
+
+	// Allocate a real port, then close it: connection-refused fleet.
+	dead := httptest.NewServer(nil)
+	dead.Close()
+
+	p := New(Config{
+		Workers: []string{dead.URL, dead.URL + "/other"},
+		Client:  fastClient(),
+		Logf:    t.Logf,
+	})
+	runs, err := p.Run(context.Background(), experiment.MatrixSpecs(opts))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Spec, r.Err)
+		}
+		if r.Worker != "local" {
+			t.Errorf("cell %s ran on %q, want local", r.Spec, r.Worker)
+		}
+	}
+	if got := formatAll(opts, Merge(runs)); got != want {
+		t.Errorf("local-fallback tables differ from reference:\n--- fallback ---\n%s\n--- local ---\n%s", got, want)
+	}
+	if got := p.localRuns.Load(); got != uint64(len(runs)) {
+		t.Errorf("localRuns = %d, want %d", got, len(runs))
+	}
+}

@@ -140,21 +140,18 @@ type Cell struct {
 
 // Matrix runs the full trace × cluster-size × policy grid once and
 // returns every cell; Figs. 5, 6 and 8 are different projections of the
-// same runs, exactly as in the paper.
+// same runs, exactly as in the paper. The grid is the one MatrixSpecs
+// describes, in the same order — a distributed sweep that executes
+// MatrixSpecs remotely and merges by spec reassembles this exact slice.
 func Matrix(opts Options) []Cell {
 	opts = opts.withDefaults()
 	opts.expLabel = "matrix"
-	var cells []Cell
-	for _, tr := range opts.Traces {
-		for _, n := range opts.OSDCounts {
-			for _, p := range AllPolicies {
-				cells = append(cells, Cell{Trace: tr, OSDs: n, Policy: p})
-			}
-		}
-	}
+	specs := MatrixSpecs(opts)
+	cells := make([]Cell, len(specs))
 	jobs := make([]func(), len(cells))
 	for i := range cells {
-		c := &cells[i]
+		c, s := &cells[i], specs[i]
+		cells[i] = Cell{Trace: s.Trace, OSDs: s.OSDs, Policy: s.Policy}
 		jobs[i] = func() {
 			c.Result, c.Err = runOne(c.Trace, c.OSDs, c.Policy, opts)
 		}

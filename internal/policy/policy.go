@@ -39,6 +39,26 @@ func (p Policy) String() string {
 	return fmt.Sprintf("Policy(%d)", int(p))
 }
 
+// MarshalText encodes the policy as its canonical CLI spelling
+// (baseline, cmt, hdf, cdf), so structs holding a Policy serialize to
+// readable JSON — the wire format cell specs ship to edmd workers.
+func (p Policy) MarshalText() ([]byte, error) {
+	if p < Baseline || p > CDF {
+		return nil, fmt.Errorf("policy: cannot marshal %v", p)
+	}
+	return []byte(Names()[int(p)]), nil
+}
+
+// UnmarshalText decodes any spelling Parse accepts.
+func (p *Policy) UnmarshalText(text []byte) error {
+	v, err := Parse(string(text))
+	if err != nil {
+		return fmt.Errorf("policy: %w", err)
+	}
+	*p = v
+	return nil
+}
+
 // All lists the four systems in the paper's presentation order.
 func All() []Policy {
 	return []Policy{Baseline, CMT, HDF, CDF}

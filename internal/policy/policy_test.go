@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -73,5 +74,42 @@ func TestParseRoundTripsLabels(t *testing.T) {
 		if err != nil || got != p {
 			t.Fatalf("Parse(%q) = %v, %v", p.String(), got, err)
 		}
+	}
+}
+
+func TestTextMarshalRoundTrip(t *testing.T) {
+	for _, p := range All() {
+		b, err := p.MarshalText()
+		if err != nil {
+			t.Fatalf("%v.MarshalText: %v", p, err)
+		}
+		var got Policy
+		if err := got.UnmarshalText(b); err != nil {
+			t.Fatalf("UnmarshalText(%q): %v", b, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v → %q → %v", p, b, got)
+		}
+	}
+	if _, err := Policy(99).MarshalText(); err == nil {
+		t.Fatal("MarshalText on invalid policy should error")
+	}
+	var p Policy
+	if err := p.UnmarshalText([]byte("nope")); err == nil {
+		t.Fatal("UnmarshalText on unknown name should error")
+	}
+}
+
+func TestJSONEncodesByName(t *testing.T) {
+	b, err := json.Marshal(HDF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"hdf"` {
+		t.Fatalf("json.Marshal(HDF) = %s, want \"hdf\"", b)
+	}
+	var got Policy
+	if err := json.Unmarshal([]byte(`"EDM-CDF"`), &got); err != nil || got != CDF {
+		t.Fatalf("json.Unmarshal(\"EDM-CDF\") = %v, %v", got, err)
 	}
 }

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestErrorResponseHeaders pins the wire contract fleet clients rely
+// on: every error response carries Content-Type application/json and a
+// decodable {"error": ...} body, and backpressure responses (429, 503)
+// carry Retry-After as integer seconds per RFC 9110.
+func TestErrorResponseHeaders(t *testing.T) {
+	digits := regexp.MustCompile(`^[0-9]+$`)
+	// rawSubmit posts a run request and leaves the response body open
+	// for the table assertions (the submit helper closes it).
+	rawSubmit := func(t *testing.T, ts *httptest.Server) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(fastReq())
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	cases := []struct {
+		name       string
+		wantStatus int
+		retryAfter bool // Retry-After required, integer seconds
+		do         func(t *testing.T) *http.Response
+	}{
+		{
+			name:       "bad request body is 400",
+			wantStatus: http.StatusBadRequest,
+			do: func(t *testing.T) *http.Response {
+				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(`{"workload"`))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp
+			},
+		},
+		{
+			name:       "unknown job is 404",
+			wantStatus: http.StatusNotFound,
+			do: func(t *testing.T) *http.Response {
+				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				resp, err := http.Get(ts.URL + "/v1/runs/no-such-job")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp
+			},
+		},
+		{
+			name:       "cancel of unknown job is 404",
+			wantStatus: http.StatusNotFound,
+			do: func(t *testing.T) *http.Response {
+				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/no-such-job", nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp
+			},
+		},
+		{
+			name:       "queue full is 429",
+			wantStatus: http.StatusTooManyRequests,
+			retryAfter: true,
+			do: func(t *testing.T) *http.Response {
+				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				blocker, _ := submit(t, ts, slowReq())
+				waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+				if _, resp := submit(t, ts, fastReq()); resp.StatusCode != http.StatusCreated {
+					t.Fatalf("filling queue: status %d", resp.StatusCode)
+				}
+				return rawSubmit(t, ts)
+			},
+		},
+		{
+			name:       "submit while draining is 503",
+			wantStatus: http.StatusServiceUnavailable,
+			retryAfter: true,
+			do: func(t *testing.T) *http.Response {
+				s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				if err := s.Shutdown(ctx); err != nil {
+					t.Fatalf("shutdown: %v", err)
+				}
+				return rawSubmit(t, ts)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := tc.do(t)
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("Content-Type = %q, want application/json", ct)
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
+				t.Errorf("error body not decodable JSON with non-empty error: %q (%v)", raw, err)
+			}
+			ra := resp.Header.Get("Retry-After")
+			if tc.retryAfter {
+				if !digits.MatchString(ra) {
+					t.Errorf("Retry-After = %q, want integer seconds", ra)
+				}
+			} else if ra != "" {
+				t.Errorf("unexpected Retry-After %q on %d", ra, tc.wantStatus)
+			}
+		})
+	}
+}
+
+// TestRetryAfterConfigurable pins the header's value: the configured
+// duration, rounded up to whole seconds, never below 1.
+func TestRetryAfterConfigurable(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  time.Duration
+		want string
+	}{
+		{0, "1"},                      // default 1s
+		{300 * time.Millisecond, "1"}, // sub-second rounds up to the minimum
+		{1500 * time.Millisecond, "2"},
+		{3 * time.Second, "3"},
+	} {
+		_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: tc.cfg})
+		blocker, _ := submit(t, ts, slowReq())
+		waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+		if _, resp := submit(t, ts, fastReq()); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("filling queue: status %d", resp.StatusCode)
+		}
+		_, resp := submit(t, ts, fastReq())
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("status = %d, want 429", resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != tc.want {
+			t.Errorf("RetryAfter=%v: header %q, want %q", tc.cfg, got, tc.want)
+		}
+		resp.Body.Close()
+	}
+}
+
+func TestVersionEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 7})
+	resp, err := http.Get(ts.URL + "/v1/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var v VersionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Service != "edmd" || v.Version != Version || v.API != "v1" {
+		t.Errorf("identity fields wrong: %+v", v)
+	}
+	if v.Workers != 3 || v.QueueCapacity != 7 {
+		t.Errorf("capacity fields wrong: %+v", v)
+	}
+	if v.GoVersion == "" {
+		t.Errorf("go_version missing: %+v", v)
+	}
+}
+
+// TestJobTimingsReported checks the richer job-result payload: a
+// finished job reports queue wait and elapsed execution time.
+func TestJobTimingsReported(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	st, _ := submit(t, ts, fastReq())
+	waitState(t, ts, st.ID, StateDone, 30*time.Second)
+	done, _ := getStatus(t, ts, st.ID)
+	if done.QueueWaitS < 0 {
+		t.Errorf("queue_wait_s = %v, want >= 0", done.QueueWaitS)
+	}
+	if done.ElapsedS <= 0 {
+		t.Errorf("elapsed_s = %v, want > 0", done.ElapsedS)
+	}
+}

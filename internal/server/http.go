@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
 	"edm"
@@ -21,6 +22,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 	return mux
@@ -62,10 +64,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case err == nil:
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrShuttingDown):
+		// A draining worker never recovers, but a fleet client retries
+		// against its *other* workers — the hint paces that retry too.
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	default:
@@ -159,6 +164,28 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// VersionInfo is the GET /v1/version body: enough identity for a fleet
+// coordinator to log what it is talking to and size its fan-out.
+type VersionInfo struct {
+	Service       string `json:"service"`
+	Version       string `json:"version"`
+	API           string `json:"api"`
+	GoVersion     string `json:"go_version"`
+	Workers       int    `json:"workers"`
+	QueueCapacity int    `json:"queue_capacity"`
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionInfo{
+		Service:       "edmd",
+		Version:       Version,
+		API:           "v1",
+		GoVersion:     runtime.Version(),
+		Workers:       s.cfg.Workers,
+		QueueCapacity: cap(s.queue),
+	})
+}
+
 // healthz reports liveness plus the occupancy numbers an operator (or
 // load balancer) wants at a glance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -192,10 +219,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the same registry type the simulation uses, sampled per scrape via
 // Snapshot so scraping does not accumulate rows.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
-	names := s.reg.Names()
-	vals := s.reg.Snapshot(sim.Time(0))
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	for i, name := range names {
-		fmt.Fprintf(w, "edmd_%s %v\n", name, vals[i])
-	}
+	s.reg.WriteText(w, "edmd_", sim.Time(0))
 }

@@ -54,6 +54,10 @@ type RunRequest struct {
 	Lambda float64 `json:"lambda,omitempty"`
 	// Seed drives workload generation and the simulation.
 	Seed uint64 `json:"seed,omitempty"`
+	// Check enables the cluster's end-of-run state self-check: a run
+	// that violates a conservation law fails instead of returning
+	// silently-wrong numbers (distributed sweeps forward their -check).
+	Check bool `json:"check,omitempty"`
 	// TimeoutS caps the job's wall-clock execution in seconds; 0 defers
 	// to the server's -job-timeout (the smaller of the two wins).
 	TimeoutS float64 `json:"timeout_s,omitempty"`
@@ -72,6 +76,7 @@ func (r RunRequest) Spec() (edm.Spec, error) {
 		Lambda:         r.Lambda,
 		Seed:           r.Seed,
 	}
+	spec.Cluster.SelfCheck = r.Check
 	if spec.Workload == "" {
 		return edm.Spec{}, errors.New("server: missing workload")
 	}
@@ -110,17 +115,11 @@ func (r RunRequest) Spec() (edm.Spec, error) {
 	return spec, nil
 }
 
-// parseMigrationMode maps the request's migration string to a mode.
+// parseMigrationMode maps the request's migration string to a mode; the
+// names are owned by the cluster package (one source of truth with the
+// TextMarshaler encoding).
 func parseMigrationMode(s string) (cluster.MigrationMode, error) {
-	switch s {
-	case "never":
-		return cluster.MigrateNever, nil
-	case "midpoint":
-		return cluster.MigrateMidpoint, nil
-	case "periodic":
-		return cluster.MigratePeriodic, nil
-	}
-	return 0, fmt.Errorf("unknown migration mode %q (valid: never, midpoint, periodic)", s)
+	return cluster.ParseMigrationMode(s)
 }
 
 // job is one accepted run: its request, its lifecycle state, and the
@@ -234,6 +233,11 @@ type JobStatus struct {
 	SubmittedAt  time.Time  `json:"submitted_at"`
 	StartedAt    *time.Time `json:"started_at,omitempty"`
 	FinishedAt   *time.Time `json:"finished_at,omitempty"`
+	// QueueWaitS is the seconds the job spent queued before a worker
+	// picked it up; ElapsedS is its execution time so far (final once
+	// terminal). Fleet coordinators use both to pace hedging.
+	QueueWaitS float64 `json:"queue_wait_s,omitempty"`
+	ElapsedS   float64 `json:"elapsed_s,omitempty"`
 }
 
 // status snapshots the job for JSON encoding. The result is returned
@@ -253,6 +257,12 @@ func (j *job) status() (JobStatus, *edm.Result) {
 	if !j.started.IsZero() {
 		t := j.started
 		st.StartedAt = &t
+		st.QueueWaitS = j.started.Sub(j.submitted).Seconds()
+		if j.finished.IsZero() {
+			st.ElapsedS = time.Since(j.started).Seconds()
+		} else {
+			st.ElapsedS = j.finished.Sub(j.started).Seconds()
+		}
 	}
 	if !j.finished.IsZero() {
 		t := j.finished

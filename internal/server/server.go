@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +37,10 @@ import (
 	"edm/internal/sim"
 	"edm/internal/telemetry"
 )
+
+// Version identifies this edmd build on GET /v1/version; fleet
+// coordinators log it per worker so mixed-version sweeps are visible.
+const Version = "0.6.0"
 
 // ErrQueueFull is returned by Submit when the admission queue is at
 // capacity; the HTTP layer maps it to 429 + Retry-After.
@@ -63,6 +68,10 @@ type Config struct {
 	// StreamInterval is the progress cadence of the NDJSON stream
 	// endpoint (default 250ms).
 	StreamInterval time.Duration
+	// RetryAfter is the backoff hint sent with 429 and 503 responses,
+	// emitted as integer seconds per RFC 9110 §10.2.3 (default 1s;
+	// sub-second values round up to 1).
+	RetryAfter time.Duration
 }
 
 func (c *Config) applyDefaults() {
@@ -75,6 +84,20 @@ func (c *Config) applyDefaults() {
 	if c.StreamInterval <= 0 {
 		c.StreamInterval = 250 * time.Millisecond
 	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+}
+
+// retryAfterSeconds renders the configured backoff hint as the integer
+// seconds RFC 9110 requires in a Retry-After header (never below 1 —
+// "0" invites a tight retry loop).
+func (s *Server) retryAfterSeconds() string {
+	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // Server owns the job store, the admission queue and the worker pool.

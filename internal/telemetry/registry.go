@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"io"
 
 	"edm/internal/metrics"
 	"edm/internal/sim"
@@ -125,6 +126,17 @@ func (r *Registry) Snapshot(now sim.Time) []float64 {
 		vals[i] = fn(now)
 	}
 	return vals
+}
+
+// WriteText renders one "name value" line per column at now, each name
+// prefixed — the text format edmd's /metricsz serves and edmctl prints
+// in its dispatch summary. Columns appear in registration order, so two
+// scrapes of the same registry differ only in values.
+func (r *Registry) WriteText(w io.Writer, prefix string, now sim.Time) {
+	vals := r.Snapshot(now)
+	for i, name := range r.names {
+		fmt.Fprintf(w, "%s%s %v\n", prefix, name, vals[i])
+	}
 }
 
 // StartSampling schedules Sample on the engine every interval of

@@ -1,0 +1,90 @@
+package edm
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"edm/internal/cluster"
+)
+
+// TestSpecJSONRoundTripDrivesIdenticalRun is the wire-format contract
+// the distributed sweep rests on: a Spec that crosses process
+// boundaries as JSON must drive the same simulation on the far side.
+// decode(encode(spec)) is the identity, and running both specs yields
+// byte-identical serialized results.
+func TestSpecJSONRoundTripDrivesIdenticalRun(t *testing.T) {
+	mode := cluster.MigratePeriodic
+	specs := map[string]Spec{
+		"named workload": {Workload: "home02", OSDs: 16, Policy: PolicyHDF, Scale: 400, Seed: 3},
+		"explicit mode":  {Workload: "home03", OSDs: 8, Policy: PolicyCDF, Scale: 400, Seed: 5, Lambda: 0.2, MigrationMode: &mode},
+		"baseline":       {Workload: "home02", OSDs: 8, Policy: PolicyBaseline, Scale: 400, Seed: 7},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			b, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var decoded Spec
+			if err := json.Unmarshal(b, &decoded); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if !reflect.DeepEqual(decoded, spec) {
+				t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v\njson: %s", spec, decoded, b)
+			}
+
+			want, err := Run(spec)
+			if err != nil {
+				t.Fatalf("run original: %v", err)
+			}
+			got, err := Run(decoded)
+			if err != nil {
+				t.Fatalf("run decoded: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("decoded spec produced a different result")
+			}
+			wb, err := json.Marshal(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gb, err := json.Marshal(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(wb) != string(gb) {
+				t.Fatal("decoded spec's result is not byte-identical to the original's")
+			}
+		})
+	}
+}
+
+// TestSpecJSONEncodesEnumsByName pins the human-readable encoding the
+// fleet protocol (and any stored spec) depends on: enums appear as
+// names, not opaque integers.
+func TestSpecJSONEncodesEnumsByName(t *testing.T) {
+	mode := cluster.MigrateMidpoint
+	b, err := json.Marshal(Spec{Workload: "home02", Policy: PolicyCDF, MigrationMode: &mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"Policy":"cdf"`) {
+		t.Errorf("policy not encoded by name: %s", s)
+	}
+	if !strings.Contains(s, `"MigrationMode":"midpoint"`) {
+		t.Errorf("migration mode not encoded by name: %s", s)
+	}
+	var decoded Spec
+	if err := json.Unmarshal([]byte(`{"Policy":"EDM-HDF","MigrationMode":"never"}`), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Policy != PolicyHDF {
+		t.Errorf("Policy = %v, want hdf", decoded.Policy)
+	}
+	if decoded.MigrationMode == nil || *decoded.MigrationMode != cluster.MigrateNever {
+		t.Errorf("MigrationMode = %v, want &never", decoded.MigrationMode)
+	}
+}
