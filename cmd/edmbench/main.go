@@ -8,10 +8,15 @@
 //	edmbench -exp fig1,fig6 -osds 16  # several, single cluster size
 //
 // Experiments: check, table1, fig1, fig3, fig5, fig6, fig7, fig8,
-// ablation, reliability. Figs. 5, 6 and 8 are projections of one shared
-// run matrix and are computed together when requested together. check
-// runs the golden-shape regression suite (internal/check) and exits
-// non-zero naming the first failing shape.
+// ablation, reliability, stress. Figs. 5, 6 and 8 are projections of one
+// shared run matrix and are computed together when requested together.
+// check runs the golden-shape regression suite (internal/check) and
+// exits non-zero naming the first failing shape. stress runs the
+// randomized fault-injection harness (internal/chaos) — excluded from
+// "all", request it by name:
+//
+//	edmbench -exp stress -stress-n 2000 -stress-artifacts repros/
+//	edmbench -stress-replay repros/repro-....json
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"edm/internal/chaos"
 	"edm/internal/check"
 	"edm/internal/experiment"
 	"edm/internal/prof"
@@ -33,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: check,table1,fig1,fig3,fig5,fig6,fig7,fig8,ablation,reliability,all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: check,table1,fig1,fig3,fig5,fig6,fig7,fig8,ablation,reliability,stress,all (all excludes stress)")
 		scale    = flag.Int("scale", 20, "workload scale divisor (1 = full Table I size)")
 		seed     = flag.Uint64("seed", 42, "experiment seed")
 		parallel = flag.Int("parallel", 0, "worker pool size (0 = NumCPU)")
@@ -41,6 +47,11 @@ func main() {
 		lambda   = flag.Float64("lambda", 0.1, "wear-imbalance trigger threshold λ")
 		selfchk  = flag.Bool("check", false, "run every experiment simulation with the cluster state self-check enabled")
 		timeout  = flag.Duration("timeout", 0, "wall-clock cap on the whole invocation (0 = none); Ctrl-C also cancels")
+
+		stressN         = flag.Int("stress-n", 1000, "stress: number of randomized scenarios (seeded from -seed)")
+		stressBudget    = flag.Duration("stress-budget", 0, "stress: wall-clock budget (0 = none); checked between scenarios")
+		stressArtifacts = flag.String("stress-artifacts", "chaos-repros", "stress: directory for shrunk repro JSON artifacts (empty disables)")
+		stressReplay    = flag.String("stress-replay", "", "replay one repro JSON artifact and verify its recorded verdict, then exit")
 
 		telemetryDir    = flag.String("telemetry-dir", "", "write per-run event logs, snapshot CSVs and Chrome traces here")
 		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
@@ -61,6 +72,35 @@ func main() {
 			fatalf("%v", err)
 		}
 	}()
+
+	// -stress-replay is a standalone mode: load one repro artifact,
+	// rerun its scenario, and verify the recorded verdict byte for
+	// byte. Exit 0 means "faithfully reproduced" — even when the
+	// reproduced verdict is a violation; that is the artifact's point.
+	if *stressReplay != "" {
+		r, err := chaos.ReadRepro(*stressReplay)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		v, match, err := chaos.Replay(r)
+		if err != nil {
+			fatalf("replaying %s: %v", *stressReplay, err)
+		}
+		fmt.Printf("repro      %s\n", *stressReplay)
+		fmt.Printf("scenario   seed %#x: %d OSDs/%d groups, %d faults, policy %s\n",
+			r.Scenario.Seed, r.Scenario.OSDs, r.Scenario.Groups,
+			len(r.Scenario.Plan.Faults), policyName(r.Scenario.Policy))
+		fmt.Printf("verdict    digest %s, %d violation(s)\n", v.Digest, len(v.Violations))
+		for _, viol := range v.Violations {
+			fmt.Printf("           %s\n", viol)
+		}
+		if !match {
+			fatalf("replay verdict drifted from the recorded one (got digest %s, want %s)",
+				v.Digest, r.Verdict.Digest)
+		}
+		fmt.Println("replay     verdict reproduced byte for byte")
+		return
+	}
 
 	// Every simulation in every experiment runs under this context:
 	// cancelled by Ctrl-C, and by -timeout if set.
@@ -210,10 +250,45 @@ func main() {
 		return b.String(), nil
 	})
 
+	run("stress", func() (string, error) {
+		sum := chaos.Stress(chaos.Options{
+			Scenarios:   *stressN,
+			Seed:        *seed,
+			Budget:      *stressBudget,
+			ArtifactDir: *stressArtifacts,
+			Log:         os.Stderr,
+		})
+		var b strings.Builder
+		fmt.Fprintf(&b, "stress: %d scenarios in %s (stopped: %s), %d failure(s)\n",
+			sum.Ran, sum.Elapsed.Round(time.Millisecond), sum.Stopped, len(sum.Failures))
+		for _, f := range sum.Failures {
+			fmt.Fprintf(&b, "  scenario %d (seed %#x): %v\n", f.Index, f.Seed, f.Verdict.Violations)
+			fmt.Fprintf(&b, "    shrunk to %d fault(s), %d records (%d shrink runs)",
+				len(f.Shrunk.Plan.Faults), f.Shrunk.Records, f.ShrinkRuns)
+			if f.ArtifactPath != "" {
+				fmt.Fprintf(&b, " -> %s", f.ArtifactPath)
+			}
+			b.WriteByte('\n')
+		}
+		if !sum.OK() {
+			return "", fmt.Errorf("%d of %d scenarios violated invariants\n%s",
+				len(sum.Failures), sum.Ran, b.String())
+		}
+		return strings.TrimRight(b.String(), "\n"), nil
+	})
+
 	for name := range want {
 		fatalf("unknown experiment %q", name)
 	}
 	fmt.Printf("total: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// policyName spells out a scenario's empty-string policy default.
+func policyName(p string) string {
+	if p == "" {
+		return "baseline"
+	}
+	return p
 }
 
 func fatalf(format string, args ...any) {

@@ -6,10 +6,12 @@ import (
 	"strings"
 )
 
-// experimentNames lists the valid -exp values in run order.
+// experimentNames lists the valid -exp values in run order. "stress"
+// (the randomized fault-injection harness) must be requested by name:
+// "all" reproduces the paper's evaluation and excludes it.
 var experimentNames = []string{
 	"check", "table1", "fig1", "fig3", "fig5", "fig6", "fig7", "fig8",
-	"ablation", "reliability",
+	"ablation", "reliability", "stress",
 }
 
 // parseExperiments expands the comma-separated -exp flag into the
@@ -24,6 +26,9 @@ func parseExperiments(s string) (map[string]bool, error) {
 		}
 		if e == "all" {
 			for _, k := range experimentNames {
+				if k == "stress" {
+					continue
+				}
 				want[k] = true
 			}
 			continue

@@ -11,7 +11,9 @@ func TestParseExperiments(t *testing.T) {
 		want    []string
 		wantErr bool
 	}{
-		{"all", experimentNames, false},
+		{"all", allExperiments(), false},
+		{"stress", []string{"stress"}, false},
+		{"all,stress", append(allExperiments(), "stress"), false},
 		{"fig5", []string{"fig5"}, false},
 		{"fig1,fig6", []string{"fig1", "fig6"}, false},
 		{" Table1 , FIG7 ", []string{"table1", "fig7"}, false},
@@ -45,6 +47,18 @@ func TestParseExperiments(t *testing.T) {
 			}
 		}
 	}
+}
+
+// allExperiments is what "all" must expand to: every experiment
+// except stress, which is opt-in by name.
+func allExperiments() []string {
+	var out []string
+	for _, k := range experimentNames {
+		if k != "stress" {
+			out = append(out, k)
+		}
+	}
+	return out
 }
 
 func TestParseOSDCounts(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"edm"
+	"edm/internal/chaos"
 	"edm/internal/check"
 	"edm/internal/metrics"
 	"edm/internal/prof"
@@ -41,6 +42,7 @@ func main() {
 		migration = flag.String("migration", "", "override controller mode: never | midpoint | periodic")
 		timeout   = flag.Duration("timeout", 0, "wall-clock cap on the run (0 = none); Ctrl-C also cancels")
 		selfCheck = flag.Bool("check", false, "run with invariant checking: event-stream checker + end-of-run state audit; non-zero exit on any violation")
+		chaosPlan = flag.String("chaos", "", "inject faults from a chaos plan JSON file (see internal/chaos); non-zero exit on a fault-aware invariant violation")
 		series    = flag.Bool("series", false, "print the response-time series (Fig. 7 view)")
 		perOSD    = flag.Bool("per-osd", false, "print per-OSD erase counts, write pages and utilizations")
 		jsonOut   = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
@@ -139,21 +141,55 @@ func main() {
 		spec.Cluster.SelfCheck = true
 	}
 
+	// -chaos decorates the recorder chain with the fault injector
+	// (outermost, so it sees migration rounds before the checker does)
+	// and schedules the plan's timed faults on the built cluster.
+	var inj *chaos.Injector
+	var plan chaos.Plan
+	if *chaosPlan != "" {
+		data, err := os.ReadFile(*chaosPlan)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := json.Unmarshal(data, &plan); err != nil {
+			fatalf("decoding %s: %v", *chaosPlan, err)
+		}
+		if err := plan.Validate(*osds); err != nil {
+			fatalf("%v", err)
+		}
+		inj = chaos.NewInjector(spec.Cluster.Recorder, plan)
+		spec.Cluster.Recorder = inj
+	}
+
 	var res *edm.Result
-	if ck != nil {
+	if ck != nil || inj != nil {
 		cl, err := edm.NewCluster(spec)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		check.Bind(ck, cl)
+		if ck != nil {
+			check.Bind(ck, cl)
+		}
+		if inj != nil {
+			inj.Arm(cl, plan)
+		}
 		if res, err = cl.RunContext(ctx); err != nil {
 			fatalf("%v", err)
 		}
-		rep := check.Audit(cl, ck)
-		if err := rep.Err(); err != nil {
-			fatalf("%v\n%s", err, rep)
+		if ck != nil {
+			rep := check.Audit(cl, ck)
+			if err := rep.Err(); err != nil {
+				fatalf("%v\n%s", err, rep)
+			}
+			fmt.Fprintf(os.Stderr, "check: %s\n", rep)
 		}
-		fmt.Fprintf(os.Stderr, "check: %s\n", rep)
+		if inj != nil {
+			if v := inj.Violations(res); len(v) > 0 {
+				fatalf("chaos: %s", strings.Join(v, "; "))
+			}
+			fmt.Fprintf(os.Stderr, "chaos: %d fault window(s); %d degraded, %d lost ops\n",
+				inj.Windows(), res.DegradedOps, res.LostOps)
+		}
 	} else {
 		var err error
 		if res, err = edm.RunContext(ctx, spec); err != nil {

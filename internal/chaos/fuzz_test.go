@@ -1,0 +1,44 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzPlan checks that Plan's JSON codec is a proper round trip: any
+// input that decodes must re-encode to a stable form — decoding the
+// encoder's output and encoding again yields identical bytes.
+func FuzzPlan(f *testing.F) {
+	seed, err := json.Marshal(samplePlan())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`{"faults":[]}`))
+	f.Add([]byte(`{"faults":[{"kind":"fail","osd":1,"at":5000000}]}`))
+	f.Add([]byte(`{"faults":[{"kind":"worker-death","path":"/v1/runs","nth":2}]}`))
+	f.Add([]byte(`{}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Plan
+		if json.Unmarshal(data, &p) != nil {
+			return // not a plan; nothing to check
+		}
+		enc1, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("plan decoded from %q but failed to encode: %v", data, err)
+		}
+		var q Plan
+		if err := json.Unmarshal(enc1, &q); err != nil {
+			t.Fatalf("re-decode of %s: %v", enc1, err)
+		}
+		enc2, err := json.Marshal(q)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode/decode/encode not identity:\n%s\n%s", enc1, enc2)
+		}
+	})
+}

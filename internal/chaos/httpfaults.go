@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+
+	"edm/internal/dispatch"
+)
+
+// HTTPScript turns a Plan's dispatch-layer faults into a
+// dispatch.ClientConfig.FaultHook. The script counts HTTP exchanges
+// (per fault, over exchanges matching the fault's Path substring) and
+// fires each fault at its Nth match:
+//
+//   - drop-response drops exactly the Nth matching exchange;
+//   - delay-response stalls exactly the Nth matching exchange by
+//     WallDelay;
+//   - worker-death drops every matching exchange from the Nth onward
+//     (the worker died mid-conversation and never answers again).
+//
+// The hook is safe for concurrent use; a Client calls it from
+// whatever goroutines issue requests. Device-kind faults in the plan
+// are ignored — they belong to the virtual-clock Injector.
+type HTTPScript struct {
+	mu     sync.Mutex
+	faults []scriptFault
+}
+
+type scriptFault struct {
+	f    Fault
+	seen int
+}
+
+// NewHTTPScript builds a script from the plan's dispatch faults.
+func NewHTTPScript(p Plan) *HTTPScript {
+	s := &HTTPScript{}
+	for _, f := range p.DispatchFaults() {
+		s.faults = append(s.faults, scriptFault{f: f})
+	}
+	return s
+}
+
+// Hook returns the function to install as ClientConfig.FaultHook.
+// Returns nil when the plan has no dispatch faults, so the client's
+// zero-cost no-hook path stays intact.
+func (s *HTTPScript) Hook() func(method, path string) dispatch.RequestFault {
+	if len(s.faults) == 0 {
+		return nil
+	}
+	return s.verdict
+}
+
+func (s *HTTPScript) verdict(method, path string) dispatch.RequestFault {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out dispatch.RequestFault
+	for i := range s.faults {
+		sf := &s.faults[i]
+		if sf.f.Path != "" && !strings.Contains(path, sf.f.Path) {
+			continue
+		}
+		n := sf.seen
+		sf.seen++
+		switch sf.f.Kind {
+		case FaultDropResponse:
+			if n == sf.f.Nth {
+				out.Drop = true
+			}
+		case FaultWorkerDeath:
+			if n >= sf.f.Nth {
+				out.Drop = true
+			}
+		case FaultDelayResponse:
+			if n == sf.f.Nth && sf.f.WallDelay > out.Delay {
+				out.Delay = sf.f.WallDelay
+			}
+		}
+	}
+	return out
+}
+
+// Exchanges reports how many exchanges each fault has seen so far
+// (indexed like the plan's dispatch faults) — test observability.
+func (s *HTTPScript) Exchanges() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.faults))
+	for i := range s.faults {
+		out[i] = s.faults[i].seen
+	}
+	return out
+}

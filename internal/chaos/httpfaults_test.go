@@ -1,0 +1,83 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHTTPScriptDropNth(t *testing.T) {
+	s := NewHTTPScript(Plan{Faults: []Fault{
+		{Kind: FaultDropResponse, Path: "/v1/runs", Nth: 1},
+	}})
+	hook := s.Hook()
+	if hook == nil {
+		t.Fatal("hook nil despite dispatch faults")
+	}
+	if hook("POST", "/v1/runs").Drop {
+		t.Error("exchange 0 dropped, want exchange 1")
+	}
+	if hook("GET", "/healthz").Drop {
+		t.Error("non-matching path dropped")
+	}
+	if !hook("POST", "/v1/runs").Drop {
+		t.Error("exchange 1 not dropped")
+	}
+	if hook("POST", "/v1/runs").Drop {
+		t.Error("exchange 2 dropped; drop-response fires once")
+	}
+}
+
+func TestHTTPScriptWorkerDeath(t *testing.T) {
+	s := NewHTTPScript(Plan{Faults: []Fault{
+		{Kind: FaultWorkerDeath, Nth: 2},
+	}})
+	hook := s.Hook()
+	for i := 0; i < 2; i++ {
+		if hook("GET", "/v1/version").Drop {
+			t.Fatalf("exchange %d dropped before death at 2", i)
+		}
+	}
+	for i := 2; i < 6; i++ {
+		if !hook("GET", "/v1/version").Drop {
+			t.Fatalf("exchange %d served after worker death", i)
+		}
+	}
+}
+
+func TestHTTPScriptDelay(t *testing.T) {
+	s := NewHTTPScript(Plan{Faults: []Fault{
+		{Kind: FaultDelayResponse, Path: "/healthz", Nth: 0, WallDelay: 30 * time.Millisecond},
+	}})
+	hook := s.Hook()
+	if d := hook("GET", "/healthz").Delay; d != 30*time.Millisecond {
+		t.Errorf("exchange 0 delay = %v, want 30ms", d)
+	}
+	if d := hook("GET", "/healthz").Delay; d != 0 {
+		t.Errorf("exchange 1 delay = %v, want 0", d)
+	}
+}
+
+func TestHTTPScriptNoDispatchFaults(t *testing.T) {
+	s := NewHTTPScript(Plan{Faults: []Fault{{Kind: FaultFail, OSD: 1}}})
+	if s.Hook() != nil {
+		t.Error("hook not nil for a device-only plan; client fast path lost")
+	}
+}
+
+func TestHTTPScriptExchangeCounting(t *testing.T) {
+	s := NewHTTPScript(Plan{Faults: []Fault{
+		{Kind: FaultDropResponse, Path: "/v1/runs", Nth: 5},
+		{Kind: FaultWorkerDeath, Nth: 99},
+	}})
+	hook := s.Hook()
+	hook("POST", "/v1/runs")
+	hook("GET", "/healthz")
+	hook("GET", "/v1/runs/abc")
+	got := s.Exchanges()
+	if got[0] != 2 { // the two /v1/runs exchanges
+		t.Errorf("fault 0 saw %d exchanges, want 2", got[0])
+	}
+	if got[1] != 3 { // empty path matches everything
+		t.Errorf("fault 1 saw %d exchanges, want 3", got[1])
+	}
+}

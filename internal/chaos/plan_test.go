@@ -1,0 +1,92 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"edm/internal/sim"
+)
+
+func samplePlan() Plan {
+	return Plan{Faults: []Fault{
+		{Kind: FaultFail, OSD: 3, At: 5 * sim.Millisecond},
+		{Kind: FaultRepair, OSD: 3, At: 9 * sim.Millisecond},
+		{Kind: FaultSlow, OSD: 1, At: sim.Millisecond, Duration: 4 * sim.Millisecond, Factor: 3.5},
+		{Kind: FaultMigrationFail, OSD: 2, After: 100 * sim.Microsecond, Nth: 0},
+		{Kind: FaultDropResponse, Path: "/v1/runs", Nth: 1},
+		{Kind: FaultDelayResponse, Path: "/healthz", Nth: 0, WallDelay: 20 * time.Millisecond},
+		{Kind: FaultWorkerDeath, Nth: 3},
+	}}
+}
+
+func TestPlanJSONRoundTrip(t *testing.T) {
+	p := samplePlan()
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var q Plan
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	data2, err := json.Marshal(q)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(data) != string(data2) {
+		t.Fatalf("round trip changed bytes:\n%s\n%s", data, data2)
+	}
+	if len(q.Faults) != len(p.Faults) {
+		t.Fatalf("lost faults: %d -> %d", len(p.Faults), len(q.Faults))
+	}
+}
+
+func TestPlanEmptyMarshalsToArray(t *testing.T) {
+	data, err := json.Marshal(Plan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"faults":[]}` {
+		t.Fatalf("empty plan = %s", data)
+	}
+}
+
+func TestPlanSplit(t *testing.T) {
+	p := samplePlan()
+	if got := len(p.DeviceFaults()); got != 4 {
+		t.Errorf("DeviceFaults = %d, want 4", got)
+	}
+	if got := len(p.DispatchFaults()); got != 3 {
+		t.Errorf("DispatchFaults = %d, want 3", got)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := samplePlan().Validate(8); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Faults: []Fault{{Kind: "explode"}}},
+		{Faults: []Fault{{Kind: FaultFail, OSD: 8}}},
+		{Faults: []Fault{{Kind: FaultFail, OSD: -1}}},
+		{Faults: []Fault{{Kind: FaultFail, OSD: 0, At: -1}}},
+		{Faults: []Fault{{Kind: FaultSlow, OSD: 0, Duration: sim.Millisecond, Factor: 0.5}}},
+		{Faults: []Fault{{Kind: FaultSlow, OSD: 0, Factor: 2}}},
+		{Faults: []Fault{{Kind: FaultMigrationFail, OSD: 0, After: -1}}},
+		{Faults: []Fault{{Kind: FaultDelayResponse}}},
+		{Faults: []Fault{{Kind: FaultDropResponse, Nth: -1}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(8); err == nil {
+			t.Errorf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+	// osds == 0 skips the range check but still rejects negatives.
+	if err := (Plan{Faults: []Fault{{Kind: FaultFail, OSD: 100}}}).Validate(0); err != nil {
+		t.Errorf("range check not skipped with osds=0: %v", err)
+	}
+	if err := (Plan{Faults: []Fault{{Kind: FaultFail, OSD: -1}}}).Validate(0); err == nil {
+		t.Error("negative osd accepted with osds=0")
+	}
+}

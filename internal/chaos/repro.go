@@ -1,0 +1,74 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ReproVersion is the artifact format version. Bump on incompatible
+// changes to Scenario or Verdict so stale artifacts fail loudly.
+const ReproVersion = 1
+
+// Repro is a replayable reproduction artifact: the exact scenario
+// plus the verdict it produced. Replaying the scenario must
+// reproduce the verdict byte for byte (Verdict.Digest included).
+type Repro struct {
+	Version  int      `json:"version"`
+	Scenario Scenario `json:"scenario"`
+	Verdict  Verdict  `json:"verdict"`
+}
+
+// WriteRepro writes the artifact into dir as repro-<seed>-<digest>.json
+// (deterministic name: rewriting the same repro is idempotent) and
+// returns its path.
+func WriteRepro(dir string, r Repro) (string, error) {
+	if r.Version == 0 {
+		r.Version = ReproVersion
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("chaos: marshal repro: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("repro-%016x-%s.json", r.Scenario.Seed, r.Verdict.Digest))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("chaos: %w", err)
+	}
+	return path, nil
+}
+
+// ReadRepro loads an artifact written by WriteRepro.
+func ReadRepro(path string) (Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Repro{}, fmt.Errorf("chaos: %w", err)
+	}
+	var r Repro
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Repro{}, fmt.Errorf("chaos: decode repro %s: %w", path, err)
+	}
+	if r.Version != ReproVersion {
+		return Repro{}, fmt.Errorf("chaos: repro %s has version %d, want %d", path, r.Version, ReproVersion)
+	}
+	return r, nil
+}
+
+// Replay reruns the artifact's scenario and reports whether the fresh
+// verdict matches the recorded one exactly (JSON-byte identity). The
+// fresh verdict is returned either way.
+func Replay(r Repro) (Verdict, bool, error) {
+	v := RunScenario(r.Scenario)
+	got, err := json.Marshal(v)
+	if err != nil {
+		return v, false, err
+	}
+	want, err := json.Marshal(r.Verdict)
+	if err != nil {
+		return v, false, err
+	}
+	return v, string(got) == string(want), nil
+}

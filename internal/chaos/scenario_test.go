@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestVerdictDeterminism(t *testing.T) {
+	sc := GenScenario(1234)
+	a := RunScenario(sc)
+	b := RunScenario(sc)
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("same scenario, different verdicts:\n%s\n%s", aj, bj)
+	}
+	if a.Digest == "" {
+		t.Fatal("verdict digest empty")
+	}
+}
+
+func TestGenScenarioDeterministicAndValid(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		sc := GenScenario(seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid scenario: %v", seed, err)
+		}
+		if again := GenScenario(seed); !reflect.DeepEqual(sc, again) {
+			t.Fatalf("seed %d: generation not deterministic", seed)
+		}
+	}
+}
+
+func TestRunScenarioFoldsErrorsIntoVerdict(t *testing.T) {
+	// Structurally broken scenarios must yield a run.error verdict,
+	// never a panic or an out-of-band error.
+	broken := []Scenario{
+		{},
+		{Seed: 1, OSDs: 4, Groups: 8, K: 2, Files: 2, Writes: 5, Users: 1},
+		{Seed: 1, OSDs: 4, Groups: 2, K: 3, Files: 2, Writes: 5, Users: 1},
+		{Seed: 1, OSDs: 4, Groups: 2, K: 2, Files: 2, Writes: 5, Users: 1, Policy: "bogus"},
+		{Seed: 1, OSDs: 4, Groups: 2, K: 2, Files: 2, Writes: 5, Users: 1, PlantBug: "unknown"},
+		{Seed: 1, OSDs: 4, Groups: 2, K: 2, Files: 2, Writes: 5, Users: 1,
+			Plan: Plan{Faults: []Fault{{Kind: FaultFail, OSD: 99}}}},
+	}
+	for i, sc := range broken {
+		v := RunScenario(sc)
+		if v.OK {
+			t.Errorf("broken scenario %d reported OK", i)
+			continue
+		}
+		if !v.Rules()["run.error"] {
+			t.Errorf("broken scenario %d: rules = %v, want run.error", i, v.Rules())
+		}
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	sc := GenScenario(77)
+	sc.PlantBug = PlantBugMiscountLostOps
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Scenario
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizePlan(sc), normalizePlan(back)) {
+		t.Fatalf("round trip changed scenario:\n%+v\n%+v", sc, back)
+	}
+}
+
+// normalizePlan maps a nil fault slice to empty so DeepEqual ignores
+// the one representation difference JSON cannot preserve.
+func normalizePlan(sc Scenario) Scenario {
+	if sc.Plan.Faults == nil {
+		sc.Plan.Faults = []Fault{}
+	}
+	return sc
+}

@@ -1,0 +1,176 @@
+package chaos
+
+import "edm/internal/sim"
+
+// maxShrinkRuns bounds the scenario executions one Shrink may spend.
+// Greedy first-improvement descent converges far earlier on real
+// violations; the bound is a backstop against pathological plateaus.
+const maxShrinkRuns = 500
+
+// Shrink reduces a failing scenario to a (locally) minimal one that
+// still violates at least one of the original verdict's rules:
+// fewer faults, earlier faults, a shorter trace, a smaller cluster,
+// a simpler policy. It returns the shrunk scenario, its verdict, and
+// the number of candidate runs spent. The input scenario is returned
+// unchanged when no candidate reproduces the failure.
+func Shrink(sc Scenario, orig Verdict) (Scenario, Verdict, int) {
+	rules := orig.Rules()
+	cur, curV := sc, orig
+	runs := 0
+	for runs < maxShrinkRuns {
+		improved := false
+		for _, cand := range candidates(cur) {
+			if !smaller(cand, cur) {
+				continue
+			}
+			if runs >= maxShrinkRuns {
+				break
+			}
+			v := RunScenario(cand)
+			runs++
+			if v.SharesRule(rules) {
+				cur, curV = cand, v
+				improved = true
+				break // restart candidate generation from the smaller scenario
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur, curV, runs
+}
+
+// candidates proposes one-step reductions of the scenario, most
+// aggressive first (dropping whole faults beats trimming times).
+func candidates(sc Scenario) []Scenario {
+	var out []Scenario
+	add := func(c Scenario) { out = append(out, c) }
+
+	// Drop each fault (a fail+repair pair drops together when the
+	// repair alone would target a never-failed device — harmless, so
+	// individual drops suffice).
+	for i := range sc.Plan.Faults {
+		c := sc
+		c.Plan.Faults = append(append([]Fault{}, sc.Plan.Faults[:i]...), sc.Plan.Faults[i+1:]...)
+		add(c)
+	}
+
+	// Shorter trace.
+	if sc.Records > 1 {
+		c := sc
+		c.Records = sc.Records / 2
+		if c.Records < 1 {
+			c.Records = 1
+		}
+		add(c)
+		c = sc
+		c.Records = sc.Records * 3 / 4
+		if c.Records >= 1 && c.Records != sc.Records {
+			add(c)
+		}
+	}
+
+	// Smaller workload.
+	if sc.Writes > 1 {
+		c := sc
+		c.Writes = sc.Writes / 2
+		add(c)
+	}
+	if sc.Reads > 0 && sc.Writes+sc.Reads/2 > 0 {
+		c := sc
+		c.Reads = sc.Reads / 2
+		add(c)
+	}
+	if sc.Files > 1 {
+		c := sc
+		c.Files = sc.Files / 2
+		add(c)
+	}
+	if sc.Users > 1 {
+		c := sc
+		c.Users = sc.Users / 2
+		add(c)
+	}
+
+	// Smaller cluster: drop one device per group, preserving the
+	// layout's divisibility law (OSDs % Groups == 0) and keeping
+	// every fault's device in range.
+	if sc.OSDs-sc.Groups >= sc.Groups {
+		c := sc
+		c.OSDs = sc.OSDs - sc.Groups
+		if faultsFit(c) {
+			add(c)
+		}
+	}
+
+	// Simpler policy: baseline disables migration entirely.
+	if sc.Policy != "" && sc.Policy != "baseline" {
+		c := sc
+		c.Policy = "baseline"
+		c.Migration = ""
+		c.Lambda = 0
+		add(c)
+	}
+
+	// Earlier faults: halve injection times so the interesting window
+	// moves toward t=0, unlocking further trace truncation.
+	for i, f := range sc.Plan.Faults {
+		if f.At == 0 && f.After == 0 {
+			continue
+		}
+		c := sc
+		c.Plan.Faults = append([]Fault{}, sc.Plan.Faults...)
+		c.Plan.Faults[i].At = f.At / 2
+		c.Plan.Faults[i].After = f.After / 2
+		add(c)
+	}
+	return out
+}
+
+// faultsFit reports whether every device fault targets an OSD the
+// scenario still has.
+func faultsFit(sc Scenario) bool {
+	for _, f := range sc.Plan.DeviceFaults() {
+		if f.OSD >= sc.OSDs {
+			return false
+		}
+	}
+	return true
+}
+
+// sizeKey orders scenarios by "how much there is to reason about":
+// faults dominate, then trace length, cluster and workload size,
+// policy complexity, and finally how late the faults fire.
+func sizeKey(sc Scenario) [8]int64 {
+	var faultTime sim.Time
+	for _, f := range sc.Plan.Faults {
+		faultTime += f.At + f.After
+	}
+	policy := int64(0)
+	if sc.Policy != "" && sc.Policy != "baseline" {
+		policy = 1
+	}
+	return [8]int64{
+		int64(len(sc.Plan.Faults)),
+		int64(sc.Records),
+		int64(sc.OSDs + sc.Groups),
+		int64(sc.Writes + sc.Reads),
+		int64(sc.Files),
+		int64(sc.Users),
+		policy,
+		int64(faultTime),
+	}
+}
+
+// smaller reports whether a is strictly smaller than b in shrink
+// order (lexicographic on sizeKey).
+func smaller(a, b Scenario) bool {
+	ka, kb := sizeKey(a), sizeKey(b)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return ka[i] < kb[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// goldenGamma spaces per-scenario seeds across the 64-bit space
+// (Weyl sequence increment), so adjacent scenario indices share no
+// low-bit structure.
+const goldenGamma = 0x9E3779B97F4A7C15
+
+// ScenarioSeed returns the seed of the i'th scenario of a stress run
+// rooted at base — exported so a failure's scenario can be
+// regenerated from (base, index) alone.
+func ScenarioSeed(base uint64, i int) uint64 {
+	return base + uint64(i)*goldenGamma
+}
+
+// Options configures one stress run.
+type Options struct {
+	// Scenarios is the number of scenarios to generate and run
+	// (default 100). The Budget may stop the run earlier.
+	Scenarios int
+	// Seed roots the scenario sequence (default 1).
+	Seed uint64
+	// Budget bounds the wall-clock time spent; 0 means no bound. The
+	// budget is checked between scenarios, so one scenario may
+	// overshoot it.
+	Budget time.Duration
+	// ArtifactDir receives a repro JSON per failure; empty disables
+	// artifact writing.
+	ArtifactDir string
+	// Log, when non-nil, receives one line per failure and a summary
+	// line per 100 scenarios.
+	Log io.Writer
+	// PlantBug arms a deliberate defect in every scenario — the
+	// harness's self-test (see Scenario.PlantBug).
+	PlantBug string
+	// MaxFailures stops the run after this many failures (default 8:
+	// one systematic bug otherwise fails every scenario and shrinks
+	// each one).
+	MaxFailures int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Scenarios <= 0 {
+		o.Scenarios = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxFailures <= 0 {
+		o.MaxFailures = 8
+	}
+}
+
+// Failure is one stress scenario that violated an invariant, plus its
+// shrunk reproduction.
+type Failure struct {
+	Index    int      `json:"index"`
+	Seed     uint64   `json:"seed"`
+	Scenario Scenario `json:"scenario"`
+	Verdict  Verdict  `json:"verdict"`
+
+	Shrunk        Scenario `json:"shrunk"`
+	ShrunkVerdict Verdict  `json:"shrunk_verdict"`
+	ShrinkRuns    int      `json:"shrink_runs"`
+
+	// ArtifactPath is the written repro file ("" when ArtifactDir was
+	// unset or the write failed; a write failure is also logged).
+	ArtifactPath string `json:"artifact_path,omitempty"`
+}
+
+// Summary is the outcome of a stress run.
+type Summary struct {
+	Ran      int           `json:"ran"`
+	Failures []Failure     `json:"failures"`
+	Elapsed  time.Duration `json:"elapsed"`
+	// Stopped names what ended the run: "scenarios" (all ran),
+	// "budget", or "failures" (MaxFailures reached).
+	Stopped string `json:"stopped"`
+}
+
+// OK reports whether every scenario passed.
+func (s Summary) OK() bool { return len(s.Failures) == 0 }
+
+// Stress generates Options.Scenarios seeded scenarios, runs each
+// under the invariant checker, shrinks every violation to a minimal
+// reproduction, and (optionally) writes each repro as a JSON
+// artifact. The scenario sequence is fully determined by Options.Seed;
+// only the Budget cutoff depends on the wall clock.
+func Stress(opts Options) Summary {
+	opts.applyDefaults()
+	start := time.Now()
+	sum := Summary{Stopped: "scenarios"}
+
+	for i := 0; i < opts.Scenarios; i++ {
+		if opts.Budget > 0 && time.Since(start) > opts.Budget {
+			sum.Stopped = "budget"
+			break
+		}
+		seed := ScenarioSeed(opts.Seed, i)
+		sc := GenScenario(seed)
+		if opts.PlantBug != "" {
+			sc.PlantBug = opts.PlantBug
+		}
+		v := RunScenario(sc)
+		sum.Ran++
+		if v.OK {
+			continue
+		}
+
+		shrunk, shrunkV, runs := Shrink(sc, v)
+		f := Failure{
+			Index: i, Seed: seed,
+			Scenario: sc, Verdict: v,
+			Shrunk: shrunk, ShrunkVerdict: shrunkV, ShrinkRuns: runs,
+		}
+		if opts.ArtifactDir != "" {
+			path, err := WriteRepro(opts.ArtifactDir, Repro{
+				Version: ReproVersion, Scenario: shrunk, Verdict: shrunkV,
+			})
+			if err != nil && opts.Log != nil {
+				fmt.Fprintf(opts.Log, "chaos: scenario %d: artifact write failed: %v\n", i, err)
+			}
+			f.ArtifactPath = path
+		}
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, "chaos: scenario %d (seed %#x) violated %v; shrunk to %d faults / %d records in %d runs\n",
+				i, seed, keys(v.Rules()), len(shrunk.Plan.Faults), shrunk.Records, runs)
+		}
+		sum.Failures = append(sum.Failures, f)
+		if len(sum.Failures) >= opts.MaxFailures {
+			sum.Stopped = "failures"
+			break
+		}
+	}
+	sum.Elapsed = time.Since(start)
+	return sum
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Small sets; insertion-sort keeps the log line deterministic.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestStressCleanSmoke is the PR-time tier: a modest batch of
+// scenarios against the real (unbugged) simulator must pass every
+// invariant. A failure here is a real bug — the artifact dir makes
+// the repro available in the test log.
+func TestStressCleanSmoke(t *testing.T) {
+	dir := t.TempDir()
+	sum := Stress(Options{
+		Scenarios:   25,
+		Seed:        7,
+		Budget:      25 * time.Second,
+		ArtifactDir: dir,
+		Log:         testWriter{t},
+	})
+	if sum.Ran == 0 {
+		t.Fatal("stress ran no scenarios")
+	}
+	for _, f := range sum.Failures {
+		t.Errorf("scenario %d (seed %#x) violated invariants: %v (repro: %s)",
+			f.Index, f.Seed, f.Verdict.Violations, f.ArtifactPath)
+	}
+}
+
+// TestStressFindsPlantedBug is the harness's self-test: with the
+// deliberate lost-op miscount armed, the stress runner must find the
+// violation, shrink it to a small repro (≤2 faults, ≤50 trace
+// records), and the written artifact must replay to a byte-identical
+// verdict — twice.
+func TestStressFindsPlantedBug(t *testing.T) {
+	dir := t.TempDir()
+	sum := Stress(Options{
+		Scenarios:   80,
+		Seed:        11,
+		ArtifactDir: dir,
+		Log:         testWriter{t},
+		PlantBug:    PlantBugMiscountLostOps,
+		MaxFailures: 1,
+	})
+	if len(sum.Failures) == 0 {
+		t.Fatalf("planted bug not found in %d scenarios", sum.Ran)
+	}
+	f := sum.Failures[0]
+	if !f.Verdict.Rules()["chaos.lost"] {
+		t.Fatalf("planted bug surfaced as %v, want chaos.lost", f.Verdict.Rules())
+	}
+	if !f.ShrunkVerdict.Rules()["chaos.lost"] {
+		t.Fatalf("shrinking lost the violation: %v", f.ShrunkVerdict.Rules())
+	}
+	if n := len(f.Shrunk.Plan.Faults); n > 2 {
+		t.Errorf("shrunk repro has %d faults, want <= 2", n)
+	}
+	if f.Shrunk.Records > 50 {
+		t.Errorf("shrunk repro has %d trace records, want <= 50", f.Shrunk.Records)
+	}
+	if !smaller(f.Shrunk, f.Scenario) && len(f.Scenario.Plan.Faults) > 0 {
+		t.Error("shrinking did not reduce the scenario at all")
+	}
+
+	if f.ArtifactPath == "" {
+		t.Fatal("no repro artifact written")
+	}
+	r, err := ReadRepro(f.ArtifactPath)
+	if err != nil {
+		t.Fatalf("read repro: %v", err)
+	}
+	v1, ok1, err := Replay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, ok2, err := Replay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok1 || !ok2 {
+		t.Fatalf("replay did not match recorded verdict (ok1=%v ok2=%v)", ok1, ok2)
+	}
+	j1, _ := json.Marshal(v1)
+	j2, _ := json.Marshal(v2)
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("two replays disagree:\n%s\n%s", j1, j2)
+	}
+}
+
+// TestStressBudgetStops pins the wall-clock cutoff semantics.
+func TestStressBudgetStops(t *testing.T) {
+	sum := Stress(Options{Scenarios: 100000, Seed: 3, Budget: time.Nanosecond})
+	if sum.Stopped != "budget" {
+		t.Fatalf("stopped = %q, want budget", sum.Stopped)
+	}
+	if sum.Ran >= 100000 {
+		t.Fatal("budget did not stop the run")
+	}
+}
+
+// testWriter adapts t.Logf so stress progress lands in test output.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}

@@ -145,6 +145,11 @@ func (ck *Checker) QueueSample(ev telemetry.QueueSample) {
 	if ev.Backlog < ev.Wait {
 		ck.report.add("queue.backlog", "osd %d: backlog %v below wait %v", ev.OSD, ev.Backlog, ev.Wait)
 	}
+	if ck.failed[ev.OSD] {
+		// Degraded operations must touch only survivors: a failed device
+		// serves nothing between its failure and its repair.
+		ck.report.add("failure.service", "osd %d served a sub-operation while failed", ev.OSD)
+	}
 	if ck.inner != nil {
 		ck.inner.QueueSample(ev)
 	}
@@ -155,6 +160,9 @@ func (ck *Checker) FlashWrite(ev telemetry.FlashWrite) {
 	ck.observe(ev.Kind(), ev.T)
 	if ev.Pages <= 0 {
 		ck.report.add("flash.write", "osd %d: %d pages programmed for object %d", ev.OSD, ev.Pages, ev.Obj)
+	}
+	if ck.failed[ev.OSD] {
+		ck.report.add("failure.service", "osd %d programmed flash pages while failed", ev.OSD)
 	}
 	if ck.inner != nil {
 		ck.inner.FlashWrite(ev)
@@ -283,6 +291,32 @@ func (ck *Checker) DeviceFailure(ev telemetry.DeviceFailure) {
 	ck.failed[ev.OSD] = true
 	if ck.inner != nil {
 		ck.inner.DeviceFailure(ev)
+	}
+}
+
+// DeviceRepair implements telemetry.Recorder.
+func (ck *Checker) DeviceRepair(ev telemetry.DeviceRepair) {
+	ck.observe(ev.Kind(), ev.T)
+	if !ck.failed[ev.OSD] {
+		ck.report.add("repair.live", "osd %d repaired but never failed", ev.OSD)
+	}
+	delete(ck.failed, ev.OSD)
+	if ck.inner != nil {
+		ck.inner.DeviceRepair(ev)
+	}
+}
+
+// DeviceSlowdown implements telemetry.Recorder.
+func (ck *Checker) DeviceSlowdown(ev telemetry.DeviceSlowdown) {
+	ck.observe(ev.Kind(), ev.T)
+	if ev.Factor < 1 {
+		ck.report.add("slowdown.factor", "osd %d: slowdown factor %v below 1", ev.OSD, ev.Factor)
+	}
+	if ev.Until < ev.T {
+		ck.report.add("slowdown.window", "osd %d: slowdown ends at t=%v before it starts at t=%v", ev.OSD, ev.Until, ev.T)
+	}
+	if ck.inner != nil {
+		ck.inner.DeviceSlowdown(ev)
 	}
 }
 

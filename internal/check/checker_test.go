@@ -35,6 +35,52 @@ func feedHealthy(ck *Checker) {
 	ck.RebuildEnd(telemetry.RebuildEnd{T: 15, OSD: 3, Rebuilt: 1})
 }
 
+// TestDegradedRunAuditsClean is the degraded-mode regression: a full
+// seeded run that fails one device mid-run and rebuilds it must pass
+// every event-stream rule AND the end-of-run state audit — degraded
+// service, reconstruction I/O and rebuild remapping are all legal
+// behaviour, not violations.
+func TestDegradedRunAuditsClean(t *testing.T) {
+	p, _ := trace.LookupProfile("home02")
+	tr, err := trace.Generate(p.Scaled(400), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := Wrap(nil)
+	cfg := cluster.Config{
+		OSDs: 16, Groups: 4, ObjectsPerFile: 4, Seed: 9,
+		WarmupDisabled: true,
+		Migration:      cluster.MigrateMidpoint,
+		SelfCheck:      true,
+		Recorder:       ck,
+	}
+	cl, err := cluster.New(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Bind(ck, cl)
+	cl.SetPlanner(migration.NewHDF(migration.Config{Lambda: 0.1}))
+	cl.FailOSD(6, 2*sim.Millisecond)
+	cl.Rebuild(6, 10*sim.Millisecond)
+	res, err := cl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DegradedOps == 0 {
+		t.Fatal("run was never degraded; the regression exercises nothing")
+	}
+	if res.LostOps != 0 {
+		t.Fatalf("single failure lost %d operations", res.LostOps)
+	}
+	if res.RebuiltObjects == 0 {
+		t.Fatal("rebuild reconstructed nothing")
+	}
+	rep := Audit(cl, ck)
+	if err := rep.Err(); err != nil {
+		t.Fatalf("degraded run not clean: %v\n%s", err, rep)
+	}
+}
+
 func TestCheckerAcceptsHealthyStream(t *testing.T) {
 	ck := Wrap(nil)
 	feedHealthy(ck)

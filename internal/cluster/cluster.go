@@ -31,10 +31,25 @@ type OSD struct {
 	busyUntil sim.Time
 	load      *metrics.EWMA
 
+	// Transient latency degradation (SlowOSD): while now < slowUntil,
+	// device service takes slowFactor times its normal latency.
+	slowUntil  sim.Time
+	slowFactor float64
+
 	// Per-device counters for the current run.
 	subOps    uint64
 	busyTime  sim.Time
 	busyAtMig sim.Time // busyTime when the migration round started
+}
+
+// scaledLat applies the device's transient slowdown window, if open at
+// now, to a service latency. Queueing and fixed overheads are not
+// scaled — the degradation models a slow medium, not a slow network.
+func (o *OSD) scaledLat(lat, now sim.Time) sim.Time {
+	if o.slowFactor > 1 && now < o.slowUntil {
+		return sim.Time(float64(lat) * o.slowFactor)
+	}
+	return lat
 }
 
 // BusyTime returns the cumulative device service time (queueing

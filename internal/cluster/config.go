@@ -186,6 +186,21 @@ type Config struct {
 	// Cluster.Release after Run to recycle them into the next run —
 	// the experiment harness keeps a sync.Pool of these.
 	Scratch *Scratch
+
+	// TestHooks plants deliberate defects for the chaos harness's
+	// self-test (internal/chaos must demonstrate it finds and shrinks a
+	// real invariant violation). The zero value plants nothing;
+	// production code never sets this.
+	TestHooks TestHooks
+}
+
+// TestHooks are deliberately planted defects, armed only by tests.
+type TestHooks struct {
+	// MiscountLostOps makes degraded fan-out count a successful
+	// reconstruction from exactly k−1 survivors as a lost operation —
+	// violating the chaos invariant that lost operations require a
+	// double failure in distinct groups.
+	MiscountLostOps bool
 }
 
 func (c *Config) applyDefaults() {

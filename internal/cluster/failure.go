@@ -22,15 +22,73 @@ import (
 // stripe has two objects in one group). A second failure in a
 // *different* group makes some stripes unreadable; those operations are
 // counted in Result.LostOps rather than silently served.
+//
+// Edge semantics (pinned by TestFailOSDEdgeSemantics):
+//   - failing an already-failed OSD is a no-op: no second
+//     DeviceFailure event, no counter movement;
+//   - a failure scheduled at or after the last operation still fires
+//     (the engine drains its whole queue), marking the device failed
+//     and extending the reported makespan, but loses no operations.
 func (c *Cluster) FailOSD(osd int, at sim.Time) {
 	if osd < 0 || osd >= len(c.osds) {
 		panic(fmt.Sprintf("cluster: FailOSD(%d) out of range", osd))
 	}
 	c.eng.At(at, func(now sim.Time) {
+		if c.failed[osd] {
+			return
+		}
 		c.failed[osd] = true
 		c.failedAt = now
 		if c.rec != nil {
 			c.rec.DeviceFailure(telemetry.DeviceFailure{T: now, OSD: osd})
+		}
+	})
+}
+
+// RepairOSD schedules a failed device's return to service at virtual
+// time at — the recovery half of a transient outage. Repairing a live
+// device is a no-op. The simulation carries no data payloads, so a
+// repaired replica is considered current on return; objects already
+// reconstructed elsewhere by a Rebuild were deleted from the device's
+// directory at their commit, so exactly-once residency holds across
+// fail → rebuild → repair (an Audit invariant the chaos harness
+// exercises).
+func (c *Cluster) RepairOSD(osd int, at sim.Time) {
+	if osd < 0 || osd >= len(c.osds) {
+		panic(fmt.Sprintf("cluster: RepairOSD(%d) out of range", osd))
+	}
+	c.eng.At(at, func(now sim.Time) {
+		if !c.failed[osd] {
+			return
+		}
+		delete(c.failed, osd)
+		if c.rec != nil {
+			c.rec.DeviceRepair(telemetry.DeviceRepair{T: now, OSD: osd})
+		}
+	})
+}
+
+// SlowOSD schedules a transient per-device latency degradation: from
+// virtual time at until at+d, every device service on the OSD takes
+// factor times its normal latency (queueing and the fixed network
+// overhead are unaffected). Overlapping windows keep the later end and
+// the last factor. factor must be >= 1 and d positive.
+func (c *Cluster) SlowOSD(osd int, at, d sim.Time, factor float64) {
+	if osd < 0 || osd >= len(c.osds) {
+		panic(fmt.Sprintf("cluster: SlowOSD(%d) out of range", osd))
+	}
+	if factor < 1 || d <= 0 {
+		panic(fmt.Sprintf("cluster: SlowOSD(%d) needs factor >= 1 and a positive duration, got %v over %v", osd, factor, d))
+	}
+	c.eng.At(at, func(now sim.Time) {
+		o := c.osds[osd]
+		until := now + d
+		if until > o.slowUntil {
+			o.slowUntil = until
+		}
+		o.slowFactor = factor
+		if c.rec != nil {
+			c.rec.DeviceSlowdown(telemetry.DeviceSlowdown{T: now, OSD: osd, Factor: factor, Until: o.slowUntil})
 		}
 	})
 }
@@ -83,8 +141,10 @@ func (c *Cluster) degradedFanOut(rec trace.Record, now sim.Time) sim.Time {
 				done = end
 			}
 		}
-		if survivors < k-1 {
+		if survivors < k-1 || (c.cfg.TestHooks.MiscountLostOps && survivors == k-1) {
 			// Fewer than k−1 columns left: the stripe is unreadable.
+			// (The TestHooks clause is a deliberately planted defect the
+			// chaos harness's self-test must find; see Config.TestHooks.)
 			c.lostOps++
 		}
 	}

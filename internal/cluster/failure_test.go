@@ -5,6 +5,7 @@ import (
 
 	"edm/internal/migration"
 	"edm/internal/sim"
+	"edm/internal/telemetry"
 )
 
 func TestSingleFailureDegradedService(t *testing.T) {
@@ -124,6 +125,134 @@ func TestMigrationAvoidsFailedDevices(t *testing.T) {
 		}
 	}
 	_ = res
+}
+
+// failureCounter counts DeviceFailure events through the recorder
+// chain — the observable half of FailOSD's idempotence contract.
+type failureCounter struct {
+	telemetry.Nop
+	failures int
+}
+
+func (f *failureCounter) DeviceFailure(telemetry.DeviceFailure) { f.failures++ }
+
+// TestFailOSDEdgeSemantics pins FailOSD's documented edge cases (see
+// the method comment): idempotent refail, same-group double failure,
+// and failures scheduled at or past the end of the workload.
+func TestFailOSDEdgeSemantics(t *testing.T) {
+	cases := []struct {
+		name  string
+		fail  func(cl *Cluster) // schedule the case's failures
+		seed  uint64
+		osds  int
+		check func(t *testing.T, res *Result, rec *failureCounter, ops int)
+	}{
+		{
+			name: "refail is a no-op",
+			seed: 40,
+			fail: func(cl *Cluster) {
+				cl.FailOSD(3, sim.Millisecond)
+				cl.FailOSD(3, 2*sim.Millisecond) // already failed: must not re-fire
+			},
+			check: func(t *testing.T, res *Result, rec *failureCounter, ops int) {
+				if rec.failures != 1 {
+					t.Errorf("DeviceFailure events = %d, want 1 (refail must not re-fire)", rec.failures)
+				}
+				if res.LostOps != 0 || res.Completed != ops {
+					t.Errorf("refail changed accounting: lost %d, completed %d/%d", res.LostOps, res.Completed, ops)
+				}
+			},
+		},
+		{
+			name: "same-group second failure is survivable",
+			seed: 41,
+			fail: func(cl *Cluster) {
+				// OSDs 3 and 7 share group 3 (m=4, 16 OSDs): §III.D says
+				// no stripe has two objects in one group.
+				cl.FailOSD(3, sim.Millisecond)
+				cl.FailOSD(7, 2*sim.Millisecond)
+			},
+			check: func(t *testing.T, res *Result, rec *failureCounter, ops int) {
+				if rec.failures != 2 {
+					t.Errorf("DeviceFailure events = %d, want 2", rec.failures)
+				}
+				if res.LostOps != 0 {
+					t.Errorf("same-group double failure lost %d operations", res.LostOps)
+				}
+				if res.DegradedOps == 0 {
+					t.Error("no degraded service despite two failed devices")
+				}
+				if res.Completed != ops {
+					t.Errorf("completed %d of %d", res.Completed, ops)
+				}
+			},
+		},
+		{
+			name: "failure far past the last operation",
+			seed: 42,
+			fail: func(cl *Cluster) {
+				cl.FailOSD(5, sim.Hour) // long after any tiny trace finishes
+			},
+			check: func(t *testing.T, res *Result, rec *failureCounter, ops int) {
+				if rec.failures != 1 {
+					t.Errorf("DeviceFailure events = %d, want 1 (late failure must still fire)", rec.failures)
+				}
+				if res.DegradedOps != 0 || res.LostOps != 0 {
+					t.Errorf("post-run failure degraded %d / lost %d operations", res.DegradedOps, res.LostOps)
+				}
+				if res.Completed != ops {
+					t.Errorf("completed %d of %d", res.Completed, ops)
+				}
+				if res.Makespan < sim.Hour {
+					t.Errorf("makespan %v does not cover the drained failure event", res.Makespan)
+				}
+			},
+		},
+		{
+			name: "failure at time zero degrades the whole run",
+			seed: 43,
+			fail: func(cl *Cluster) {
+				cl.FailOSD(0, 0)
+			},
+			check: func(t *testing.T, res *Result, rec *failureCounter, ops int) {
+				if rec.failures != 1 {
+					t.Errorf("DeviceFailure events = %d, want 1", rec.failures)
+				}
+				if res.DegradedOps == 0 {
+					t.Error("failure at t=0 produced no degraded service")
+				}
+				if res.LostOps != 0 || res.Completed != ops {
+					t.Errorf("single failure lost %d, completed %d/%d", res.LostOps, res.Completed, ops)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := tinyTrace(t, tc.seed)
+			rec := &failureCounter{}
+			cfg := testConfig(16)
+			cfg.Recorder = rec
+			cl, err := New(cfg, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.fail(cl)
+			res, err := cl.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, res, rec, len(tr.Records))
+			// Every case leaves at least one device failed for good.
+			any := false
+			for i := 0; i < 16; i++ {
+				any = any || cl.Failed(i)
+			}
+			if !any {
+				t.Error("no device marked failed after the run")
+			}
+		})
+	}
 }
 
 func TestFailOSDRangePanics(t *testing.T) {

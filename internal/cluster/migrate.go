@@ -40,29 +40,16 @@ func (c *Cluster) maybeMigrate(now sim.Time, force bool) {
 	c.executeMoves(moves, now)
 }
 
-// planWith invokes the planner, honouring force for the EDM and CMT
-// planners (they expose a Force field precisely for the paper's
-// midpoint-shuffle methodology).
+// planWith invokes the planner, honouring force for any planner that
+// implements migration.Forcible (HDF, CDF, CMT and anything wrapping
+// them — the paper's midpoint-shuffle methodology needs the gate
+// bypassed regardless of how the planner is decorated).
 func (c *Cluster) planWith(snap *migration.Snapshot, force bool) []migration.Move {
-	switch p := c.planner.(type) {
-	case *migration.HDF:
-		saved := p.Force
-		p.Force = force || saved
-		defer func() { p.Force = saved }()
-		return p.Plan(snap)
-	case *migration.CDF:
-		saved := p.Force
-		p.Force = force || saved
-		defer func() { p.Force = saved }()
-		return p.Plan(snap)
-	case *migration.CMT:
-		saved := p.Force
-		p.Force = force || saved
-		defer func() { p.Force = saved }()
-		return p.Plan(snap)
-	default:
-		return c.planner.Plan(snap)
+	if f, ok := c.planner.(migration.Forcible); ok && force && !f.Forced() {
+		f.SetForce(true)
+		defer f.SetForce(false)
 	}
+	return c.planner.Plan(snap)
 }
 
 // Snapshot captures the cluster state the planners consume.
@@ -212,6 +199,7 @@ func (mv *mover) step(at sim.Time) {
 		readStart = src.busyUntil
 	}
 	readLat, _ := src.Store.Read(mv.m.Obj, mv.off, n)
+	readLat = src.scaledLat(readLat, at)
 	readDone := readStart + c.cfg.NetOverhead + readLat
 	src.busyUntil = readDone
 	src.busyTime += c.cfg.NetOverhead + readLat
@@ -228,6 +216,7 @@ func (mv *mover) step(at sim.Time) {
 		mv.abort(readDone)
 		return
 	}
+	writeLat = dst.scaledLat(writeLat, at)
 	writeDone := writeStart + c.cfg.NetOverhead + writeLat
 	dst.busyUntil = writeDone
 	dst.busyTime += c.cfg.NetOverhead + writeLat

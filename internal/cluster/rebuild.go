@@ -159,6 +159,7 @@ func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time,
 				start = osd.busyUntil
 			}
 			lat, _ := osd.Store.Read(peer, off, n)
+			lat = osd.scaledLat(lat, at)
 			end := start + c.cfg.NetOverhead + lat
 			osd.busyUntil = end
 			osd.busyTime += c.cfg.NetOverhead + lat
@@ -178,6 +179,7 @@ func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time,
 			done(readDone)
 			return
 		}
+		writeLat = target.scaledLat(writeLat, at)
 		writeDone := writeStart + c.cfg.NetOverhead + writeLat
 		target.busyUntil = writeDone
 		target.busyTime += c.cfg.NetOverhead + writeLat

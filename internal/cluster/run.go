@@ -451,6 +451,7 @@ func (c *Cluster) subOp(id object.ID, accs []raid.Access, now sim.Time) sim.Time
 		}
 	}
 
+	dev = osd.scaledLat(dev, now)
 	doneAt := start + c.cfg.NetOverhead + dev
 	osd.busyUntil = doneAt
 	osd.subOps++

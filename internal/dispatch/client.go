@@ -37,6 +37,24 @@ type ClientConfig struct {
 	// PollInterval is the job-status polling cadence while a submitted
 	// run executes (default 100ms).
 	PollInterval time.Duration
+	// FaultHook, when non-nil, is consulted before every HTTP attempt
+	// (including retries) with the request's method and path. It exists
+	// for fault-injection tests: a Drop verdict makes the attempt fail
+	// as if the response was lost in transit (retryable, wrapping
+	// ErrUnavailable), and a Delay stalls the attempt first —
+	// context-aware, so deadlines still fire during an injected stall.
+	// Production configs leave it nil; it costs nothing when unset.
+	FaultHook func(method, path string) RequestFault
+}
+
+// RequestFault is a FaultHook verdict for one HTTP attempt.
+type RequestFault struct {
+	// Drop fails the attempt without touching the network, as if the
+	// worker's response never arrived.
+	Drop bool
+	// Delay stalls the attempt before it is issued (applied before
+	// Drop is evaluated, mimicking a response lost after a slow path).
+	Delay time.Duration
 }
 
 func (c *ClientConfig) applyDefaults() {
@@ -255,6 +273,19 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 // the retry decision: <0 permanent failure, 0 retryable (use computed
 // backoff), >0 retryable after exactly that wait (server-provided).
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (time.Duration, error) {
+	if hook := c.cfg.FaultHook; hook != nil {
+		f := hook(method, path)
+		if f.Delay > 0 {
+			select {
+			case <-ctx.Done():
+				return -1, ctx.Err()
+			case <-time.After(f.Delay):
+			}
+		}
+		if f.Drop {
+			return 0, fmt.Errorf("%w: %s: injected response drop (%s %s)", ErrUnavailable, c.cfg.BaseURL, method, path)
+		}
+	}
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)

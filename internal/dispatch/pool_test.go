@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -226,6 +227,92 @@ func TestHedgedDuplicateDiscarded(t *testing.T) {
 	}
 	if got := p.duplicates.Load(); got < 1 {
 		t.Errorf("pool duplicate counter = %d, want >= 1", got)
+	}
+}
+
+// TestHedgeBothExecutionsFail pins the double-failure corner of
+// hedging: the primary stalls, a hedge launches on the second worker,
+// then BOTH workers die mid-flight. The cell must fail cleanly with
+// ErrExhausted (not hang waiting for a completion that cannot come),
+// every retry must land in the per-worker accounting, and no
+// coordinator goroutine may outlive Run.
+func TestHedgeBothExecutionsFail(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// Every execution of the cell stalls forever; completions can only
+	// come from the fault path.
+	fleet := newFakeFleet(func(string, int) time.Duration { return -1 })
+	w1, w2 := newFakeWorker(fleet), newFakeWorker(fleet)
+	defer w1.kill()
+	defer w2.kill()
+
+	p := New(Config{
+		Workers:       []string{w1.url(), w2.url()},
+		Client:        fastClient(),
+		Slots:         1,
+		MaxLaunches:   2, // primary + hedge: no third launch to hide behind
+		DisableLocal:  true,
+		HedgeAfter:    20 * time.Millisecond,
+		ProbeInterval: 5 * time.Millisecond,
+		Logf:          t.Logf,
+	})
+
+	// Kill both workers once the hedge is in flight (two accepted
+	// executions fleet-wide).
+	go func() {
+		deadline := time.Now().Add(5 * time.Second)
+		for fleet.executions("victim") < 2 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		w1.kill()
+		w2.kill()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	runs, err := p.Run(ctx, []experiment.CellSpec{fakeSpec("victim")})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := runs[0]
+	if !errors.Is(r.Err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", r.Err)
+	}
+	if !r.Hedged {
+		t.Error("cell was not hedged before the double failure")
+	}
+	if r.Launches != 2 {
+		t.Errorf("launches = %d, want 2 (primary + hedge)", r.Launches)
+	}
+	if got := fleet.executions("victim"); got != 2 {
+		t.Errorf("fleet accepted %d executions, want 2", got)
+	}
+	// Both deaths were discovered through the retry machinery: each
+	// worker's client retried its failing call before giving up.
+	for _, w := range p.workers {
+		if got := w.client.Retries.Load(); got == 0 {
+			t.Errorf("worker %s recorded no retries despite dying mid-poll", w.name)
+		}
+		if got := w.downs.Load(); got == 0 {
+			t.Errorf("worker %s never marked down", w.name)
+		}
+	}
+
+	// Every coordinator goroutine (worker loops, hedge loop, reprobes)
+	// must have exited with Run. httptest teardown is asynchronous, so
+	// poll briefly before declaring a leak.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d at start, %d after Run\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

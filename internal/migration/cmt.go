@@ -39,6 +39,12 @@ func (c *CMT) Name() string { return "CMT" }
 // they remain readable; it competes only for bandwidth.
 func (c *CMT) BlocksAccess() bool { return false }
 
+// SetForce implements Forcible.
+func (c *CMT) SetForce(f bool) { c.Force = f }
+
+// Forced implements Forcible.
+func (c *CMT) Forced() bool { return c.Force }
+
 // Plan implements Planner.
 func (c *CMT) Plan(s *Snapshot) []Move {
 	cfg := c.Cfg

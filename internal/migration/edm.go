@@ -40,6 +40,12 @@ func (h *HDF) Plan(s *Snapshot) []Move {
 	return planEDM(s, ModeHDF, h.Cfg, h.Force)
 }
 
+// SetForce implements Forcible.
+func (h *HDF) SetForce(f bool) { h.Force = f }
+
+// Forced implements Forcible.
+func (h *HDF) Forced() bool { return h.Force }
+
 // CDF is the Cold-Data First planner.
 type CDF struct {
 	Cfg   Config
@@ -60,6 +66,12 @@ func (c *CDF) BlocksAccess() bool { return false }
 func (c *CDF) Plan(s *Snapshot) []Move {
 	return planEDM(s, ModeCDF, c.Cfg, c.Force)
 }
+
+// SetForce implements Forcible.
+func (c *CDF) SetForce(f bool) { c.Force = f }
+
+// Forced implements Forcible.
+func (c *CDF) Forced() bool { return c.Force }
 
 // planEDM is the shared EDM planning pipeline.
 func planEDM(s *Snapshot, mode Mode, cfg Config, force bool) []Move {

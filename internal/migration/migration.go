@@ -90,6 +90,18 @@ type Planner interface {
 	BlocksAccess() bool
 }
 
+// Forcible is implemented by planners whose RSD > λ trigger gate can be
+// bypassed (the paper's midpoint-shuffle methodology enforces a round
+// regardless of imbalance). HDF, CDF and CMT all implement it; a
+// decorating planner (e.g. a fault injector's wrapper) should forward
+// both methods so force still reaches the planner it wraps.
+type Forcible interface {
+	// SetForce sets whether the next Plan call bypasses the trigger.
+	SetForce(bool)
+	// Forced reports the current force setting.
+	Forced() bool
+}
+
 // Config carries the tunables shared by the EDM planners.
 type Config struct {
 	// Lambda is the relative-standard-deviation trigger threshold λ

@@ -249,6 +249,23 @@ type DeviceFailure struct {
 	OSD int      `json:"osd"`
 }
 
+// DeviceRepair records a failed device returning to service (degraded
+// mode ends for the stripes it serves).
+type DeviceRepair struct {
+	T   sim.Time `json:"t"`
+	OSD int      `json:"osd"`
+}
+
+// DeviceSlowdown records a transient per-device latency degradation
+// window opening: until Until, service on the device takes Factor times
+// its normal latency.
+type DeviceSlowdown struct {
+	T      sim.Time `json:"t"`
+	OSD    int      `json:"osd"`
+	Factor float64  `json:"factor"`
+	Until  sim.Time `json:"until"`
+}
+
 // RebuildStart marks a declustered rebuild beginning for a failed
 // device's objects.
 type RebuildStart struct {
@@ -290,6 +307,8 @@ func (e MigrationRoundEnd) Kind() string { return "migration.round.end" }
 func (e WaitPark) Kind() string          { return "wait.park" }
 func (e WaitResume) Kind() string        { return "wait.resume" }
 func (e DeviceFailure) Kind() string     { return "failure.device" }
+func (e DeviceRepair) Kind() string      { return "failure.repair" }
+func (e DeviceSlowdown) Kind() string    { return "failure.slowdown" }
 func (e RebuildStart) Kind() string      { return "rebuild.start" }
 func (e RebuildObject) Kind() string     { return "rebuild.object" }
 func (e RebuildEnd) Kind() string        { return "rebuild.end" }
@@ -307,6 +326,8 @@ func (e MigrationRoundEnd) Time() sim.Time { return e.T }
 func (e WaitPark) Time() sim.Time          { return e.T }
 func (e WaitResume) Time() sim.Time        { return e.T }
 func (e DeviceFailure) Time() sim.Time     { return e.T }
+func (e DeviceRepair) Time() sim.Time      { return e.T }
+func (e DeviceSlowdown) Time() sim.Time    { return e.T }
 func (e RebuildStart) Time() sim.Time      { return e.T }
 func (e RebuildObject) Time() sim.Time     { return e.T }
 func (e RebuildEnd) Time() sim.Time        { return e.T }
@@ -324,6 +345,8 @@ func (e MigrationRoundEnd) EventClass() Class { return ClassMigration }
 func (e WaitPark) EventClass() Class          { return ClassWait }
 func (e WaitResume) EventClass() Class        { return ClassWait }
 func (e DeviceFailure) EventClass() Class     { return ClassFailure }
+func (e DeviceRepair) EventClass() Class      { return ClassFailure }
+func (e DeviceSlowdown) EventClass() Class    { return ClassFailure }
 func (e RebuildStart) EventClass() Class      { return ClassFailure }
 func (e RebuildObject) EventClass() Class     { return ClassFailure }
 func (e RebuildEnd) EventClass() Class        { return ClassFailure }
@@ -351,6 +374,8 @@ type Recorder interface {
 	WaitPark(WaitPark)
 	WaitResume(WaitResume)
 	DeviceFailure(DeviceFailure)
+	DeviceRepair(DeviceRepair)
+	DeviceSlowdown(DeviceSlowdown)
 	RebuildStart(RebuildStart)
 	RebuildObject(RebuildObject)
 	RebuildEnd(RebuildEnd)
@@ -379,6 +404,8 @@ func (Nop) MigrationRoundEnd(MigrationRoundEnd) {}
 func (Nop) WaitPark(WaitPark)                   {}
 func (Nop) WaitResume(WaitResume)               {}
 func (Nop) DeviceFailure(DeviceFailure)         {}
+func (Nop) DeviceRepair(DeviceRepair)           {}
+func (Nop) DeviceSlowdown(DeviceSlowdown)       {}
 func (Nop) RebuildStart(RebuildStart)           {}
 func (Nop) RebuildObject(RebuildObject)         {}
 func (Nop) RebuildEnd(RebuildEnd)               {}

@@ -66,6 +66,8 @@ func (tr *Tracer) MigrationRoundEnd(ev MigrationRoundEnd) { tr.record(ClassMigra
 func (tr *Tracer) WaitPark(ev WaitPark)                   { tr.record(ClassWait, ev) }
 func (tr *Tracer) WaitResume(ev WaitResume)               { tr.record(ClassWait, ev) }
 func (tr *Tracer) DeviceFailure(ev DeviceFailure)         { tr.record(ClassFailure, ev) }
+func (tr *Tracer) DeviceRepair(ev DeviceRepair)           { tr.record(ClassFailure, ev) }
+func (tr *Tracer) DeviceSlowdown(ev DeviceSlowdown)       { tr.record(ClassFailure, ev) }
 func (tr *Tracer) RebuildStart(ev RebuildStart)           { tr.record(ClassFailure, ev) }
 func (tr *Tracer) RebuildObject(ev RebuildObject)         { tr.record(ClassFailure, ev) }
 func (tr *Tracer) RebuildEnd(ev RebuildEnd)               { tr.record(ClassFailure, ev) }
