@@ -18,7 +18,11 @@ import (
 	"edm/internal/experiment"
 	"edm/internal/flash"
 	"edm/internal/migration"
+	"edm/internal/object"
+	"edm/internal/placement"
+	"edm/internal/remap"
 	"edm/internal/rng"
+	"edm/internal/sim"
 	"edm/internal/telemetry"
 	"edm/internal/temperature"
 	"edm/internal/trace"
@@ -183,6 +187,89 @@ func BenchmarkTemperatureTracking(b *testing.B) {
 	tr := temperature.New(temperature.DefaultInterval)
 	for i := 0; i < b.N; i++ {
 		tr.RecordWrite(temperature.ObjectID(i%4096), 2, 0)
+	}
+}
+
+// BenchmarkTemperatureTouch measures the slot-addressed replay hot path
+// — a pre-installed tracker touched by dense handle, including periodic
+// epoch advances. The benchgate baseline pins it allocation-free.
+func BenchmarkTemperatureTouch(b *testing.B) {
+	tr := temperature.New(temperature.DefaultInterval)
+	const slots = 4096
+	for i := 0; i < slots; i++ {
+		tr.InstallAt(temperature.Slot(i), temperature.ObjectID(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TouchWrite(temperature.Slot(i%slots), 2, sim.Time(i))
+	}
+}
+
+// BenchmarkRemapLookup measures the remap-aware locate on a populated
+// table — the per-suboperation lookup cost on the replay path.
+func BenchmarkRemapLookup(b *testing.B) {
+	tb := remap.New()
+	tb.Reserve(4096)
+	for id := 0; id < 4096; id += 3 {
+		tb.Record(object.ID(id), id%16, (id+1)%16)
+	}
+	var sink int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += tb.Lookup(object.ID(i%4096), i%16)
+	}
+	benchSink = sink
+}
+
+// benchSink defeats dead-code elimination in value-only benchmarks.
+var benchSink int
+
+// BenchmarkMigrationPlan measures one forced HDF planning pass over a
+// synthetic 16-device, 512-objects-per-device snapshot — the per-round
+// planner cost the top-k selection rewrite targets.
+func BenchmarkMigrationPlan(b *testing.B) {
+	stream := rng.New(7)
+	snap := &migration.Snapshot{
+		Model:  wear.NewModel(32, wear.DefaultSigma),
+		Layout: placement.Layout{N: 16, M: 4, K: 4},
+	}
+	objs := make([]migration.ObjectInfo, 0, 16*512)
+	for i := 0; i < 16; i++ {
+		dev := migration.DeviceState{
+			OSD:           i,
+			Group:         i % 4,
+			WinWritePages: float64(stream.Int63n(100000)),
+			Utilization:   0.4 + stream.Float64()*0.4,
+			CapacityPages: 1 << 20,
+			UsedPages:     1 << 19,
+		}
+		start := len(objs)
+		for j := 0; j < 512; j++ {
+			w := float64(stream.Int63n(400))
+			objs = append(objs, migration.ObjectInfo{
+				ID:            object.ID(i*512 + j),
+				Index:         int32(i*512 + j),
+				Home:          i,
+				Pages:         100,
+				Bytes:         100 * 4096,
+				WriteTemp:     w,
+				TotalTemp:     2 * w,
+				WinWritePages: w,
+			})
+		}
+		dev.Objects = objs[start:len(objs):len(objs)]
+		snap.Devices = append(snap.Devices, dev)
+	}
+	h := migration.NewHDF(migration.DefaultConfig())
+	h.SetForce(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if moves := h.Plan(snap); len(moves) == 0 {
+			b.Fatal("forced plan moved nothing")
+		}
 	}
 }
 

@@ -22,15 +22,24 @@ import (
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "", "compare parsed results against this BENCH_sim.json; non-zero exit on regression")
-		out       = flag.String("out", "", "write parsed results to this file as BENCH_sim.json")
-		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth over the baseline (0.25 = +25%)")
-		input     = flag.String("in", "", "read `go test -bench` output from this file instead of stdin")
+		baseline     = flag.String("baseline", "", "compare parsed results against this BENCH_sim.json; non-zero exit on regression")
+		out          = flag.String("out", "", "write parsed results to this file as BENCH_sim.json")
+		tolerance    = flag.Float64("tolerance", 0.25, "allowed fractional ns/op growth over the baseline (0.25 = +25%)")
+		allocTol     = flag.Float64("alloc-tolerance", 0.25, "allowed fractional allocs/op growth over the baseline (plus a 2 allocs/op absolute slack)")
+		bytesTol     = flag.Float64("bytes-tolerance", 0.25, "allowed fractional bytes/op growth over the baseline (plus a 64 B/op absolute slack)")
+		allowMissing = flag.Bool("allow-missing", false, "do not fail on baseline benchmarks absent from this run (for CI matrix shards that each run a subset)")
+		input        = flag.String("in", "", "read `go test -bench` output from this file instead of stdin")
 	)
 	flag.Parse()
 
 	if *tolerance < 0 {
 		fatalf("bad -tolerance %v (want a non-negative fraction, e.g. 0.25)", *tolerance)
+	}
+	if *allocTol < 0 {
+		fatalf("bad -alloc-tolerance %v (want a non-negative fraction, e.g. 0.25)", *allocTol)
+	}
+	if *bytesTol < 0 {
+		fatalf("bad -bytes-tolerance %v (want a non-negative fraction, e.g. 0.25)", *bytesTol)
 	}
 	if *baseline == "" && *out == "" {
 		fatalf("nothing to do: give -out to record a baseline, -baseline to gate against one, or both")
@@ -74,7 +83,12 @@ func main() {
 		if err := json.Unmarshal(buf, &base); err != nil {
 			fatalf("parsing %s: %v", *baseline, err)
 		}
-		failures := Compare(base, report, *tolerance)
+		failures := Compare(base, report, Gate{
+			NsTolerance:    *tolerance,
+			AllocTolerance: *allocTol,
+			BytesTolerance: *bytesTol,
+			AllowMissing:   *allowMissing,
+		})
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "benchgate: %s\n", f)
 		}

@@ -110,13 +110,32 @@ func isNumber(s string) bool {
 	return err == nil
 }
 
+// Gate holds the comparison thresholds. The fractional tolerances bound
+// relative growth; the alloc and byte gates additionally grant a small
+// absolute slack (allocSlack, byteSlack) so tiny baselines — 3 allocs,
+// 100 bytes — aren't failed by a single extra allocation of noise.
+type Gate struct {
+	NsTolerance    float64 // allowed fractional ns/op growth
+	AllocTolerance float64 // allowed fractional allocs/op growth
+	BytesTolerance float64 // allowed fractional bytes/op growth
+	AllowMissing   bool    // tolerate baseline entries absent from this run (CI matrix shards)
+}
+
+const (
+	allocSlack = 2  // absolute allocs/op headroom on top of the fraction
+	byteSlack  = 64 // absolute bytes/op headroom on top of the fraction
+)
+
 // Compare gates fresh results against a baseline: a benchmark regresses
-// if its ns/op grows beyond the tolerance fraction, or if a benchmark
-// that was allocation-free in the baseline starts allocating (any
-// growth there is a hot-path leak, never noise). Benchmarks missing
+// if its ns/op, allocs/op, or bytes/op grow beyond the gate's
+// tolerances, or if a benchmark that was allocation-free in the
+// baseline starts allocating (any growth there is a hot-path leak,
+// never noise — the absolute slack does not apply). Benchmarks missing
 // from either side are reported too — a silently vanished benchmark
-// would otherwise let a regression hide by renaming.
-func Compare(base, fresh Report, tolerance float64) []string {
+// would otherwise let a regression hide by renaming — unless
+// AllowMissing is set, which lets a CI matrix shard gate only the
+// subset of the baseline it runs.
+func Compare(base, fresh Report, g Gate) []string {
 	var failures []string
 	freshBy := map[string]Benchmark{}
 	for _, b := range fresh.Benchmarks {
@@ -125,17 +144,33 @@ func Compare(base, fresh Report, tolerance float64) []string {
 	for _, old := range base.Benchmarks {
 		now, ok := freshBy[old.Name]
 		if !ok {
-			failures = append(failures, fmt.Sprintf("%s: in baseline but not in this run", old.Name))
+			if !g.AllowMissing {
+				failures = append(failures, fmt.Sprintf("%s: in baseline but not in this run", old.Name))
+			}
 			continue
 		}
 		delete(freshBy, old.Name)
-		if limit := old.NsPerOp * (1 + tolerance); now.NsPerOp > limit {
+		if limit := old.NsPerOp * (1 + g.NsTolerance); now.NsPerOp > limit {
 			failures = append(failures, fmt.Sprintf("%s: %.4g ns/op exceeds baseline %.4g ns/op by more than %.0f%%",
-				old.Name, now.NsPerOp, old.NsPerOp, tolerance*100))
+				old.Name, now.NsPerOp, old.NsPerOp, g.NsTolerance*100))
 		}
-		if old.HasAllocs && now.HasAllocs && old.AllocsPerOp == 0 && now.AllocsPerOp > 0 {
-			failures = append(failures, fmt.Sprintf("%s: %.4g allocs/op on a zero-allocation baseline",
-				old.Name, now.AllocsPerOp))
+		if !old.HasAllocs || !now.HasAllocs {
+			continue
+		}
+		if old.AllocsPerOp == 0 {
+			if now.AllocsPerOp > 0 {
+				failures = append(failures, fmt.Sprintf("%s: %.4g allocs/op on a zero-allocation baseline",
+					old.Name, now.AllocsPerOp))
+			}
+		} else if limit := old.AllocsPerOp*(1+g.AllocTolerance) + allocSlack; now.AllocsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.4g allocs/op exceeds baseline %.4g allocs/op by more than %.0f%%+%d",
+				old.Name, now.AllocsPerOp, old.AllocsPerOp, g.AllocTolerance*100, allocSlack))
+		}
+		if old.BytesPerOp > 0 {
+			if limit := old.BytesPerOp*(1+g.BytesTolerance) + byteSlack; now.BytesPerOp > limit {
+				failures = append(failures, fmt.Sprintf("%s: %.4g B/op exceeds baseline %.4g B/op by more than %.0f%%+%d",
+					old.Name, now.BytesPerOp, old.BytesPerOp, g.BytesTolerance*100, byteSlack))
+			}
 		}
 	}
 	for name := range freshBy {

@@ -98,55 +98,99 @@ func TestCompare(t *testing.T) {
 	base := Report{Benchmarks: []Benchmark{
 		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 0, HasAllocs: true},
 		{Name: "BenchmarkB", NsPerOp: 1000},
+		{Name: "BenchmarkD", NsPerOp: 500, AllocsPerOp: 100, BytesPerOp: 4096, HasAllocs: true},
 	}}
+	quarter := Gate{NsTolerance: 0.25, AllocTolerance: 0.25, BytesTolerance: 0.25}
+	withMissing := quarter
+	withMissing.AllowMissing = true
+	okD := Benchmark{Name: "BenchmarkD", NsPerOp: 500, AllocsPerOp: 100, BytesPerOp: 4096, HasAllocs: true}
 	cases := []struct {
-		name      string
-		fresh     Report
-		tolerance float64
-		want      []string // substring per expected failure, in order
+		name  string
+		fresh Report
+		gate  Gate
+		want  []string // substring per expected failure, in order
 	}{
 		{
 			name: "within tolerance",
 			fresh: Report{Benchmarks: []Benchmark{
 				{Name: "BenchmarkA", NsPerOp: 120, HasAllocs: true},
 				{Name: "BenchmarkB", NsPerOp: 1240},
+				{Name: "BenchmarkD", NsPerOp: 600, AllocsPerOp: 127, BytesPerOp: 5184, HasAllocs: true},
 			}},
-			tolerance: 0.25,
+			gate: quarter,
 		},
 		{
 			name: "ns regression",
 			fresh: Report{Benchmarks: []Benchmark{
 				{Name: "BenchmarkA", NsPerOp: 126, HasAllocs: true},
 				{Name: "BenchmarkB", NsPerOp: 1000},
+				okD,
 			}},
-			tolerance: 0.25,
-			want:      []string{"BenchmarkA: 126 ns/op exceeds baseline 100 ns/op"},
+			gate: quarter,
+			want: []string{"BenchmarkA: 126 ns/op exceeds baseline 100 ns/op"},
 		},
 		{
 			name: "zero-alloc baseline starts allocating",
 			fresh: Report{Benchmarks: []Benchmark{
 				{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 2, HasAllocs: true},
 				{Name: "BenchmarkB", NsPerOp: 1000},
+				okD,
 			}},
-			tolerance: 0.25,
-			want:      []string{"BenchmarkA: 2 allocs/op on a zero-allocation baseline"},
+			gate: quarter,
+			want: []string{"BenchmarkA: 2 allocs/op on a zero-allocation baseline"},
+		},
+		{
+			name: "alloc regression beyond fraction plus slack",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkA", NsPerOp: 100, HasAllocs: true},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+				{Name: "BenchmarkD", NsPerOp: 500, AllocsPerOp: 128, BytesPerOp: 4096, HasAllocs: true},
+			}},
+			gate: quarter,
+			want: []string{"BenchmarkD: 128 allocs/op exceeds baseline 100 allocs/op"},
+		},
+		{
+			name: "bytes regression beyond fraction plus slack",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkA", NsPerOp: 100, HasAllocs: true},
+				{Name: "BenchmarkB", NsPerOp: 1000},
+				{Name: "BenchmarkD", NsPerOp: 500, AllocsPerOp: 100, BytesPerOp: 5185, HasAllocs: true},
+			}},
+			gate: quarter,
+			want: []string{"BenchmarkD: 5185 B/op exceeds baseline 4096 B/op"},
 		},
 		{
 			name: "missing and unknown benchmarks",
 			fresh: Report{Benchmarks: []Benchmark{
 				{Name: "BenchmarkA", NsPerOp: 100, HasAllocs: true},
 				{Name: "BenchmarkC", NsPerOp: 5},
+				okD,
 			}},
-			tolerance: 0.25,
+			gate: quarter,
 			want: []string{
 				"BenchmarkB: in baseline but not in this run",
 				"BenchmarkC: not in baseline",
 			},
 		},
+		{
+			name: "allow-missing gates only the shard's subset",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkA", NsPerOp: 100, HasAllocs: true},
+			}},
+			gate: withMissing,
+		},
+		{
+			name: "allow-missing still rejects unknown benchmarks",
+			fresh: Report{Benchmarks: []Benchmark{
+				{Name: "BenchmarkC", NsPerOp: 5},
+			}},
+			gate: withMissing,
+			want: []string{"BenchmarkC: not in baseline"},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			got := Compare(base, tc.fresh, tc.tolerance)
+			got := Compare(base, tc.fresh, tc.gate)
 			if len(got) != len(tc.want) {
 				t.Fatalf("Compare = %v, want %d failure(s) %v", got, len(tc.want), tc.want)
 			}

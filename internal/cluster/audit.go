@@ -75,6 +75,26 @@ func (c *Cluster) Audit() []string {
 		}
 	}
 
+	// The dense metadata tables are caches over the authoritative stores;
+	// every row must agree with them: the recorded owner holds the object
+	// at the recorded slot, and the home matches the placement function.
+	for oi := range c.oids {
+		id := c.oids[oi]
+		own := int(c.owner[oi])
+		if own < 0 || own >= len(c.osds) {
+			fail("dense: object %d owner %d out of range [0,%d)", id, own, len(c.osds))
+			continue
+		}
+		if sl, ok := c.osds[own].Store.Lookup(id); !ok {
+			fail("dense: object %d not resident on recorded owner osd %d", id, own)
+		} else if sl != c.oslot[oi] {
+			fail("dense: object %d at slot %d on osd %d, table records slot %d", id, sl, own, c.oslot[oi])
+		}
+		if int(c.ohome[oi]) != c.objectHome(id) {
+			fail("dense: object %d home table says osd %d, placement says osd %d", id, c.ohome[oi], c.objectHome(id))
+		}
+	}
+
 	// Residency must agree with the remap-aware lookup in both
 	// directions: each resident object is found where locate points, and
 	// each remap entry resolves to a live object there.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"edm/internal/flash"
 	"edm/internal/metrics"
@@ -15,6 +16,7 @@ import (
 	"edm/internal/telemetry"
 	"edm/internal/temperature"
 	"edm/internal/trace"
+	"edm/internal/wear"
 )
 
 // OSD is one object storage device: an SSD, its object store, the
@@ -107,12 +109,38 @@ type Cluster struct {
 	respMigr     *metrics.Histogram // ops served while migration in flight
 	rejected     uint64
 
+	// Dense object metadata tables: every traced object gets a stable
+	// index oi = rank(file)·k + objInFile, where ranks number the trace's
+	// files in ascending-id order — so index order equals object-id
+	// order, which the planners' tiebreak relies on. The replay hot path
+	// resolves owner OSD, store slot and tracker slot by slice indexing
+	// instead of map lookups; ids outside the trace (tests, chaos) fall
+	// back to the ID-keyed shims.
+	k         int32
+	fileRanks []int32                // dense file id → rank; -1 for gaps
+	rankByID  map[trace.FileID]int32 // fallback for sparse/huge file ids
+	oids      []object.ID
+	owner     []int32        // OSD currently holding the object
+	oslot     []object.Index // store (== tracker) slot on the owner
+	ohome     []int32        // cached hash-placement home
+	wmodel    wear.Model
+
 	// Hot-path scratch, reused across operations so the replay loop is
 	// allocation-free in steady state (and recycled across runs through
 	// Config.Scratch).
 	accsBuf  []raid.Access
 	groupBuf []raid.Access
 	donePool []*opDone
+
+	// Run and snapshot scratch (recycled through Config.Scratch too).
+	streams    []stream
+	posBuf     []int32
+	userCnt    []int32
+	userLookup []int32
+	arrivals   []arrival
+	snapDevs   []migration.DeviceState
+	snapObjs   []migration.ObjectInfo
+	planSnap   migration.Snapshot
 
 	moves         []migration.Move
 	blockedSubOps uint64
@@ -175,6 +203,7 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 	if err := c.buildDevices(); err != nil {
 		return nil, err
 	}
+	c.buildObjectTables()
 	if err := c.createFiles(); err != nil {
 		return nil, err
 	}
@@ -278,6 +307,100 @@ func (c *Cluster) locate(id object.ID) int {
 	return c.remap.Lookup(id, c.objectHome(id))
 }
 
+// rankOf returns the file's dense rank, or −1 for files outside the
+// trace.
+func (c *Cluster) rankOf(f trace.FileID) int32 {
+	if c.fileRanks != nil {
+		if f < 0 || int64(f) >= int64(len(c.fileRanks)) {
+			return -1
+		}
+		return c.fileRanks[f]
+	}
+	if r, ok := c.rankByID[f]; ok {
+		return r
+	}
+	return -1
+}
+
+// indexOf returns the object's dense table index, or −1 for ids outside
+// the trace's object population.
+func (c *Cluster) indexOf(id object.ID) int32 {
+	if id < 0 {
+		return -1
+	}
+	k := int64(c.k)
+	r := c.rankOf(trace.FileID(int64(id) / k))
+	if r < 0 {
+		return -1
+	}
+	return r*c.k + int32(int64(id)%k)
+}
+
+// ownerOf is locate through the dense table when the object has one.
+func (c *Cluster) ownerOf(id object.ID) int {
+	if oi := c.indexOf(id); oi >= 0 {
+		return int(c.owner[oi])
+	}
+	return c.remap.Lookup(id, c.objectHome(id))
+}
+
+// buildObjectTables assigns every traced object its dense index and
+// prefills the id/owner/home columns (slots are bound in createFiles).
+// Ranks follow ascending file-id order; the trace generator mints dense
+// file ids so the rank lookup is usually a plain slice, with a map
+// fallback for decoded traces with sparse ids.
+func (c *Cluster) buildObjectTables() {
+	k := c.cfg.ObjectsPerFile
+	c.k = int32(k)
+	n := len(c.tr.Files)
+	ids := make([]trace.FileID, n)
+	for i, f := range c.tr.Files {
+		ids[i] = f.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	dense := true
+	var maxID int64 = -1
+	if n > 0 {
+		if ids[0] < 0 {
+			dense = false
+		}
+		maxID = int64(ids[n-1])
+	}
+	if dense && maxID < int64(4*n+1024) {
+		ranks := make([]int32, maxID+1)
+		for i := range ranks {
+			ranks[i] = -1
+		}
+		for r, f := range ids {
+			ranks[int(f)] = int32(r)
+		}
+		c.fileRanks = ranks
+	} else {
+		c.rankByID = make(map[trace.FileID]int32, n)
+		for r, f := range ids {
+			c.rankByID[f] = int32(r)
+		}
+	}
+
+	total := n * k
+	c.oids = make([]object.ID, total)
+	c.owner = make([]int32, total)
+	c.oslot = make([]object.Index, total)
+	c.ohome = make([]int32, 0, total)
+	for _, f := range ids {
+		c.ohome = c.layout.AppendHomes(c.ohome, int64(f))
+	}
+	for r, f := range ids {
+		for i := 0; i < k; i++ {
+			oi := r*k + i
+			c.oids[oi] = c.objectID(f, i)
+			c.owner[oi] = c.ohome[oi]
+		}
+	}
+	c.wmodel = wear.NewModel(c.osds[0].SSD.Config().PagesPerBlock, wear.DefaultSigma)
+}
+
 // buildDevices sizes and constructs the SSDs. All SSDs are identical;
 // capacity is derived from the heaviest OSD's placed data so that its
 // utilization is about the target.
@@ -351,17 +474,23 @@ func (c *Cluster) buildDevices() error {
 	return nil
 }
 
-// createFiles pre-creates and populates every traced file (§V.A).
+// createFiles pre-creates and populates every traced file (§V.A),
+// binding each object's store slot and tracker row to its dense index.
 func (c *Cluster) createFiles() error {
 	for _, f := range c.tr.Files {
+		base := c.rankOf(f.ID) * c.k
 		for idx := 0; idx < c.cfg.ObjectsPerFile; idx++ {
-			id := c.objectID(f.ID, idx)
-			osd := c.osds[c.objectHome(id)]
+			oi := base + int32(idx)
+			id := c.oids[oi]
+			osd := c.osds[c.ohome[oi]]
 			objBytes := c.geom.ObjectDataBytes(f.Size, idx)
-			if err := osd.Store.Create(id, objBytes); err != nil {
+			slot, err := osd.Store.CreateIndexed(id, objBytes)
+			if err != nil {
 				return fmt.Errorf("cluster: creating object %d on OSD %d: %w", id, osd.ID, err)
 			}
-			if _, err := osd.Store.Populate(id); err != nil {
+			osd.Tracker.InstallAt(temperature.Slot(slot), temperature.ObjectID(id))
+			c.oslot[oi] = slot
+			if _, err := osd.Store.PopulateAt(slot); err != nil {
 				return fmt.Errorf("cluster: populating object %d on OSD %d: %w", id, osd.ID, err)
 			}
 		}

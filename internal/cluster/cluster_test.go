@@ -350,7 +350,10 @@ func TestHDFLockParksAndResumesRequests(t *testing.T) {
 	lockedID := cl.objectID(file, accs[0].Obj)
 	cl.locked[lockedID] = true
 
-	st := &stream{records: []trace.Record{{File: file, Kind: trace.OpWrite, Offset: 0, Size: 4096}}}
+	// Streams replay by index into the trace's record list, so plant the
+	// probe record there and point a one-element stream at it.
+	cl.tr.Records = append(cl.tr.Records, trace.Record{File: file, Kind: trace.OpWrite, Offset: 0, Size: 4096})
+	st := &stream{c: cl, pos: []int32{int32(len(cl.tr.Records) - 1)}}
 	cl.totalOps = 1
 	cl.issueNext(st, 0)
 	if len(cl.waiters[lockedID]) != 1 {

@@ -106,7 +106,7 @@ func (c *Cluster) degradedFanOut(rec trace.Record, now sim.Time) sim.Time {
 	k := c.cfg.ObjectsPerFile
 	for _, a := range accs {
 		id := c.objectID(rec.File, a.Obj)
-		if !c.failed[c.locate(id)] {
+		if !c.failed[c.ownerOf(id)] {
 			end := c.subOp(id, []raid.Access{a}, now)
 			if end > done {
 				done = end
@@ -122,7 +122,7 @@ func (c *Cluster) degradedFanOut(rec trace.Record, now sim.Time) sim.Time {
 				continue
 			}
 			peer := c.objectID(rec.File, j)
-			if c.failed[c.locate(peer)] {
+			if c.failed[c.ownerOf(peer)] {
 				continue // second failure in this stripe
 			}
 			survivors++
@@ -172,7 +172,7 @@ func (c *Cluster) anyFailedTarget(rec trace.Record) bool {
 		return false
 	}
 	for _, a := range c.accessesFor(rec) {
-		if c.failed[c.locate(c.objectID(rec.File, a.Obj))] {
+		if c.failed[c.ownerOf(c.objectID(rec.File, a.Obj))] {
 			return true
 		}
 	}

@@ -2,10 +2,10 @@ package cluster
 
 import (
 	"edm/internal/migration"
+	"edm/internal/object"
 	"edm/internal/sim"
 	"edm/internal/telemetry"
 	"edm/internal/temperature"
-	"edm/internal/wear"
 )
 
 // maybeMigrate runs the installed planner. With force the RSD gate is
@@ -15,8 +15,11 @@ func (c *Cluster) maybeMigrate(now sim.Time, force bool) {
 	if c.planner == nil || c.migrating {
 		return
 	}
-	snap := c.Snapshot(now)
-	moves := c.planWith(snap, force)
+	// Periodic planning reuses the cluster's snapshot buffers: an idle
+	// wear tick (trigger not fired) then allocates nothing.
+	c.snapObjs = c.fillSnapshot(&c.planSnap, c.snapDevs[:0], c.snapObjs[:0], now)
+	c.snapDevs = c.planSnap.Devices
+	moves := c.planWith(&c.planSnap, force)
 	if len(moves) == 0 {
 		return
 	}
@@ -54,12 +57,32 @@ func (c *Cluster) planWith(snap *migration.Snapshot, force bool) []migration.Mov
 
 // Snapshot captures the cluster state the planners consume.
 func (c *Cluster) Snapshot(now sim.Time) *migration.Snapshot {
-	np := c.osds[0].SSD.Config().PagesPerBlock
-	snap := &migration.Snapshot{
+	snap := &migration.Snapshot{}
+	c.fillSnapshot(snap, nil, nil, now)
+	return snap
+}
+
+// fillSnapshot populates snap from the live cluster, building the
+// device and object lists in the provided buffers (nil for fresh
+// allocations). It returns the object buffer — snap.Devices holds
+// subslices of it — so callers can recycle it. Objects are enumerated
+// in ascending-id order per device; the planners sum temperatures over
+// that order, so it is part of the determinism contract.
+func (c *Cluster) fillSnapshot(snap *migration.Snapshot, devs []migration.DeviceState, objs []migration.ObjectInfo, now sim.Time) []migration.ObjectInfo {
+	*snap = migration.Snapshot{
 		Now:      now,
-		Model:    wear.NewModel(np, wear.DefaultSigma),
+		Model:    c.wmodel,
 		Layout:   c.layout,
 		Recorder: c.rec,
+	}
+	total := 0
+	for _, o := range c.osds {
+		if !c.failed[o.ID] {
+			total += o.Store.Len()
+		}
+	}
+	if cap(objs) < total {
+		objs = make([]migration.ObjectInfo, 0, total)
 	}
 	for _, o := range c.osds {
 		if c.failed[o.ID] {
@@ -75,13 +98,30 @@ func (c *Cluster) Snapshot(now sim.Time) *migration.Snapshot {
 			UsedPages:     o.SSD.LivePages(),
 			LoadFactor:    o.LoadFactor(),
 		}
-		for _, id := range o.Store.IDs() {
-			ts := o.Tracker.Query(temperature.ObjectID(id), now)
-			dev.Objects = append(dev.Objects, migration.ObjectInfo{
+		start := len(objs)
+		for _, sl := range o.Store.SortedIndices() {
+			id := o.Store.IDAt(sl)
+			var ts temperature.Snapshot
+			if o.Tracker.BoundTo(temperature.Slot(sl), temperature.ObjectID(id)) {
+				ts = o.Tracker.QueryAt(temperature.Slot(sl), now)
+			} else {
+				// Object outside the dense slot pairing (tests creating
+				// foreign objects directly on a store).
+				ts = o.Tracker.Query(temperature.ObjectID(id), now)
+			}
+			oi := c.indexOf(id)
+			home := 0
+			if oi >= 0 {
+				home = int(c.ohome[oi])
+			} else {
+				home = c.objectHome(id)
+			}
+			objs = append(objs, migration.ObjectInfo{
 				ID:            id,
-				Home:          c.objectHome(id),
-				Pages:         o.Store.Pages(id),
-				Bytes:         o.Store.Size(id),
+				Index:         oi,
+				Home:          home,
+				Pages:         o.Store.PagesAt(sl),
+				Bytes:         o.Store.SizeAt(sl),
 				Remapped:      c.remap.Contains(id),
 				WriteTemp:     ts.WriteTemp,
 				TotalTemp:     ts.TotalTemp,
@@ -89,9 +129,11 @@ func (c *Cluster) Snapshot(now sim.Time) *migration.Snapshot {
 				CumAccesses:   ts.CumWrites + ts.CumReads,
 			})
 		}
-		snap.Devices = append(snap.Devices, dev)
+		dev.Objects = objs[start:len(objs):len(objs)]
+		devs = append(devs, dev)
 	}
-	return snap
+	snap.Devices = devs
+	return objs
 }
 
 // executeMoves runs the data mover: the moves of each source OSD form a
@@ -161,12 +203,14 @@ const migrationChunkBytes = 256 << 10
 // a multi-MB move costs one mover allocation rather than one closure and
 // one event allocation per 256KB chunk.
 type mover struct {
-	c      *Cluster
-	m      migration.Move
-	size   int64
-	off    int64
-	blocks bool
-	done   func(sim.Time)
+	c       *Cluster
+	m       migration.Move
+	size    int64
+	off     int64
+	srcSlot object.Index
+	dstSlot object.Index
+	blocks  bool
+	done    func(sim.Time)
 }
 
 // Fire implements sim.Action: copy the next chunk (or commit).
@@ -184,7 +228,7 @@ func (mv *mover) abort(at sim.Time) {
 func (mv *mover) step(at sim.Time) {
 	c := mv.c
 	if mv.off >= mv.size || mv.size == 0 {
-		c.commitMove(mv.m, mv.size, at, mv.blocks, mv.done)
+		c.commitMove(mv, at)
 		return
 	}
 	src := c.osds[mv.m.Src]
@@ -198,7 +242,7 @@ func (mv *mover) step(at sim.Time) {
 	if src.busyUntil > readStart {
 		readStart = src.busyUntil
 	}
-	readLat, _ := src.Store.Read(mv.m.Obj, mv.off, n)
+	readLat, _ := src.Store.ReadAt(mv.srcSlot, mv.off, n)
 	readLat = src.scaledLat(readLat, at)
 	readDone := readStart + c.cfg.NetOverhead + readLat
 	src.busyUntil = readDone
@@ -209,10 +253,11 @@ func (mv *mover) step(at sim.Time) {
 	if dst.busyUntil > writeStart {
 		writeStart = dst.busyUntil
 	}
-	writeLat, err := dst.Store.Write(mv.m.Obj, mv.off, n)
+	writeLat, err := dst.Store.WriteAt(mv.dstSlot, mv.off, n)
 	if err != nil {
 		c.rejected++
-		_ = dst.Store.Delete(mv.m.Obj)
+		dst.Store.DeleteIndexed(mv.dstSlot)
+		dst.Tracker.ForgetAt(temperature.Slot(mv.dstSlot))
 		mv.abort(readDone)
 		return
 	}
@@ -235,22 +280,29 @@ func (c *Cluster) moveObject(m migration.Move, now sim.Time, blocks bool, done f
 
 	mv := &mover{c: c, m: m, blocks: blocks, done: done}
 
-	if !src.Store.Has(m.Obj) || dst.Store.Has(m.Obj) ||
+	srcSlot, ok := src.Store.Lookup(m.Obj)
+	if !ok || dst.Store.Has(m.Obj) ||
 		c.failed[m.Src] || c.failed[m.Dst] {
 		// The object moved or vanished since planning, or a device
 		// failed in the meantime; skip.
 		mv.abort(now)
 		return
 	}
-	size := src.Store.Size(m.Obj)
+	mv.srcSlot = srcSlot
+	size := src.Store.SizeAt(srcSlot)
 	mv.size = size
-	if err := dst.Store.Create(m.Obj, size); err != nil {
+	dstSlot, err := dst.Store.CreateIndexed(m.Obj, size)
+	if err != nil {
 		// Destination has no room; abandon the move (the source copy
 		// remains authoritative).
 		c.rejected++
 		mv.abort(now)
 		return
 	}
+	mv.dstSlot = dstSlot
+	// Bind the destination tracker row up front so the commit's ImportAt
+	// lands on a slot that is already the object's.
+	dst.Tracker.InstallAt(temperature.Slot(dstSlot), temperature.ObjectID(m.Obj))
 	if c.rec != nil {
 		c.rec.ObjectMoveStart(telemetry.ObjectMoveStart{
 			T: now, Obj: int64(m.Obj), Src: m.Src, Dst: m.Dst,
@@ -263,25 +315,36 @@ func (c *Cluster) moveObject(m migration.Move, now sim.Time, blocks bool, done f
 // commitMove finalises a completed copy: trim the source copy, carry the
 // temperature history over, update the remapping table, and release the
 // HDF lock.
-func (c *Cluster) commitMove(m migration.Move, size int64, at sim.Time, blocks bool, done func(sim.Time)) {
+func (c *Cluster) commitMove(mv *mover, at sim.Time) {
+	m := mv.m
 	src := c.osds[m.Src]
 	dst := c.osds[m.Dst]
 
-	_ = src.Store.Delete(m.Obj)
-	if snap, ok := src.Tracker.Export(temperature.ObjectID(m.Obj), at); ok {
-		dst.Tracker.Import(snap, at)
+	src.Store.DeleteIndexed(mv.srcSlot)
+	tsrc := temperature.Slot(mv.srcSlot)
+	tdst := temperature.Slot(mv.dstSlot)
+	if src.Tracker.BoundTo(tsrc, temperature.ObjectID(m.Obj)) {
+		if snap, ok := src.Tracker.ExportAt(tsrc, at); ok {
+			dst.Tracker.ImportAt(tdst, snap, at)
+		}
+	} else if snap, ok := src.Tracker.Export(temperature.ObjectID(m.Obj), at); ok {
+		dst.Tracker.ImportAt(tdst, snap, at)
 	}
 	c.remap.Record(m.Obj, c.objectHome(m.Obj), m.Dst)
+	if oi := c.indexOf(m.Obj); oi >= 0 {
+		c.owner[oi] = int32(m.Dst)
+		c.oslot[oi] = mv.dstSlot
+	}
 	c.movesCommitted++
 	if c.rec != nil {
 		c.rec.ObjectMoveCommit(telemetry.ObjectMoveCommit{
-			T: at, Obj: int64(m.Obj), Src: m.Src, Dst: m.Dst, Bytes: size,
+			T: at, Obj: int64(m.Obj), Src: m.Src, Dst: m.Dst, Bytes: mv.size,
 		})
 	}
-	if blocks {
+	if mv.blocks {
 		c.unlockObject(m.Obj, at)
 	}
-	c.movedPages += pagesOf(size, src.Store.PageSize())
-	c.movedBytes += size
-	done(at)
+	c.movedPages += pagesOf(mv.size, src.Store.PageSize())
+	c.movedBytes += mv.size
+	mv.done(at)
 }

@@ -95,11 +95,12 @@ func (c *Cluster) startRebuild(failedOSD int, now sim.Time) {
 // data. done receives the commit time.
 func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time, done func(sim.Time)) {
 	srcStore := c.osds[failedOSD].Store
-	if !srcStore.Has(obj) || c.failed[dst] {
+	srcSlot, ok := srcStore.Lookup(obj)
+	if !ok || c.failed[dst] {
 		done(now)
 		return
 	}
-	size := srcStore.Size(obj)
+	size := srcStore.SizeAt(srcSlot)
 	k := c.cfg.ObjectsPerFile
 	file := int64(obj) / int64(k)
 	idx := int(int64(obj) % int64(k))
@@ -111,7 +112,7 @@ func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time,
 			continue
 		}
 		peer := c.objectID(trace.FileID(file), j)
-		if c.failed[c.locate(peer)] {
+		if c.failed[c.ownerOf(peer)] {
 			c.unrebuildable++
 			done(now)
 			return
@@ -120,21 +121,32 @@ func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time,
 	}
 
 	target := c.osds[dst]
-	if err := target.Store.Create(obj, size); err != nil {
+	tslot, err := target.Store.CreateIndexed(obj, size)
+	if err != nil {
 		c.rejected++
 		done(now)
 		return
 	}
+	target.Tracker.InstallAt(temperature.Slot(tslot), temperature.ObjectID(obj))
 
 	var step func(off int64, at sim.Time)
 	step = func(off int64, at sim.Time) {
 		if off >= size || size == 0 {
 			// Commit: the object now lives on dst.
-			_ = srcStore.Delete(obj) // directory bookkeeping; the device is dead
-			if snap, ok := c.osds[failedOSD].Tracker.Export(temperature.ObjectID(obj), at); ok {
-				target.Tracker.Import(snap, at)
+			srcStore.DeleteIndexed(srcSlot) // directory bookkeeping; the device is dead
+			tr := c.osds[failedOSD].Tracker
+			if tr.BoundTo(temperature.Slot(srcSlot), temperature.ObjectID(obj)) {
+				if snap, ok := tr.ExportAt(temperature.Slot(srcSlot), at); ok {
+					target.Tracker.ImportAt(temperature.Slot(tslot), snap, at)
+				}
+			} else if snap, ok := tr.Export(temperature.ObjectID(obj), at); ok {
+				target.Tracker.ImportAt(temperature.Slot(tslot), snap, at)
 			}
 			c.remap.Record(obj, c.objectHome(obj), dst)
+			if oi := c.indexOf(obj); oi >= 0 {
+				c.owner[oi] = int32(dst)
+				c.oslot[oi] = tslot
+			}
 			c.rebuilt++
 			c.rebuiltBytes += size
 			if c.rec != nil {
@@ -153,7 +165,7 @@ func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time,
 		// parallel across their queues.
 		readDone := at
 		for _, peer := range peerObjs {
-			osd := c.osds[c.locate(peer)]
+			osd := c.osds[c.ownerOf(peer)]
 			start := at
 			if osd.busyUntil > start {
 				start = osd.busyUntil
@@ -172,10 +184,11 @@ func (c *Cluster) rebuildObject(obj object.ID, failedOSD, dst int, now sim.Time,
 		if target.busyUntil > writeStart {
 			writeStart = target.busyUntil
 		}
-		writeLat, err := target.Store.Write(obj, off, n)
+		writeLat, err := target.Store.WriteAt(tslot, off, n)
 		if err != nil {
 			c.rejected++
-			_ = target.Store.Delete(obj)
+			target.Store.DeleteIndexed(tslot)
+			target.Tracker.ForgetAt(temperature.Slot(tslot))
 			done(readDone)
 			return
 		}

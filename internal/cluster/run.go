@@ -19,11 +19,14 @@ import (
 // multi-threaded with users evenly sharded across clients (§V.A), so
 // each user stream progresses concurrently; the client grouping affects
 // only where records are hosted, not their timing.
+//
+// A stream holds record positions (indexes into the trace) rather than
+// copied records; the position lists of all streams share one backing
+// array, carved by buildStreams.
 type stream struct {
-	c       *Cluster
-	user    int
-	records []trace.Record
-	next    int
+	c    *Cluster
+	pos  []int32
+	next int
 }
 
 // Fire implements sim.Action: the stream's t=0 kick-off event.
@@ -182,20 +185,8 @@ func (c *Cluster) RunContext(ctx context.Context) (*Result, error) {
 	if c.totalOps > 0 {
 		return nil, fmt.Errorf("cluster: Run called twice")
 	}
-	byUser := make(map[int]*stream)
-	var streams []*stream
-	for _, r := range c.tr.Records {
-		st := byUser[int(r.User)]
-		if st == nil {
-			st = &stream{c: c, user: int(r.User)}
-			byUser[int(r.User)] = st
-			streams = append(streams, st)
-		}
-		st.records = append(st.records, r)
-	}
-	for _, st := range streams {
-		c.totalOps += len(st.records)
-	}
+	c.buildStreams()
+	c.totalOps = len(c.tr.Records)
 	if c.totalOps == 0 {
 		return nil, fmt.Errorf("cluster: empty trace")
 	}
@@ -219,16 +210,23 @@ func (c *Cluster) RunContext(ctx context.Context) (*Result, error) {
 	if c.cfg.OpenLoopRate > 0 {
 		// Open loop: records arrive on a fixed schedule in trace order.
 		interval := float64(sim.Second) / c.cfg.OpenLoopRate
-		arrivals := make([]arrival, len(c.tr.Records))
+		arrivals := c.arrivals
+		if cap(arrivals) < len(c.tr.Records) {
+			arrivals = make([]arrival, len(c.tr.Records))
+		} else {
+			arrivals = arrivals[:len(c.tr.Records)]
+		}
 		for j, r := range c.tr.Records {
 			at := sim.Time(float64(j) * interval)
 			arrivals[j] = arrival{c: c, rec: r}
 			c.eng.AtAction(at, &arrivals[j])
 		}
+		c.arrivals = arrivals
 	} else {
-		// Closed loop: kick every user stream at t=0.
-		for _, st := range streams {
-			c.eng.AtAction(0, st)
+		// Closed loop: kick every user stream at t=0, in first-appearance
+		// order (the order buildStreams numbers them).
+		for i := range c.streams {
+			c.eng.AtAction(0, &c.streams[i])
 		}
 	}
 	if err := c.eng.RunContext(ctx); err != nil {
@@ -245,14 +243,89 @@ func (c *Cluster) RunContext(ctx context.Context) (*Result, error) {
 	return c.buildResult(), nil
 }
 
+// buildStreams shards the trace's records into per-user streams,
+// numbered in first-appearance order. Two passes over the records carve
+// every stream's position list out of one shared buffer, replacing the
+// old per-user map and append churn (the single largest allocation site
+// of a replay). User ids are mapped through a dense lookup when the
+// trace declares its user count; hand-built traces without one fall
+// back to a map.
+func (c *Cluster) buildStreams() {
+	recs := c.tr.Records
+
+	var lookupDense []int32
+	var lookupMap map[int32]int32
+	if u := c.tr.Users; u > 0 {
+		if cap(c.userLookup) < u {
+			c.userLookup = make([]int32, u)
+		}
+		lookupDense = c.userLookup[:u]
+		for i := range lookupDense {
+			lookupDense[i] = -1
+		}
+	} else {
+		lookupMap = make(map[int32]int32)
+	}
+	lookup := func(u int32) int32 {
+		if lookupDense != nil {
+			return lookupDense[u]
+		}
+		if si, ok := lookupMap[u]; ok {
+			return si
+		}
+		return -1
+	}
+
+	// Pass 1: count records per stream.
+	cnt := c.userCnt[:0]
+	for i := range recs {
+		u := recs[i].User
+		si := lookup(u)
+		if si < 0 {
+			si = int32(len(cnt))
+			cnt = append(cnt, 0)
+			if lookupDense != nil {
+				lookupDense[u] = si
+			} else {
+				lookupMap[u] = si
+			}
+		}
+		cnt[si]++
+	}
+
+	// Pass 2: carve each stream's position list and fill it.
+	pos := c.posBuf
+	if cap(pos) < len(recs) {
+		pos = make([]int32, len(recs))
+	} else {
+		pos = pos[:len(recs)]
+	}
+	streams := c.streams
+	if cap(streams) < len(cnt) {
+		streams = make([]stream, len(cnt))
+	} else {
+		streams = streams[:len(cnt)]
+	}
+	off := 0
+	for si, n := range cnt {
+		streams[si] = stream{c: c, pos: pos[off : off : off+int(n)]}
+		off += int(n)
+	}
+	for i := range recs {
+		si := lookup(recs[i].User)
+		streams[si].pos = append(streams[si].pos, int32(i))
+	}
+	c.streams, c.posBuf, c.userCnt = streams, pos, cnt
+}
+
 // issueNext executes the stream's next record and schedules the
 // follow-up on completion. A record that targets a locked object parks
 // until the lock's move commits.
 func (c *Cluster) issueNext(cl *stream, now sim.Time) {
-	if cl.next >= len(cl.records) {
+	if cl.next >= len(cl.pos) {
 		return
 	}
-	rec := cl.records[cl.next]
+	rec := c.tr.Records[cl.pos[cl.next]]
 	cl.next++
 	c.startOp(pendingOp{rec: rec, issued: now, st: cl}, now)
 }
@@ -386,6 +459,13 @@ func (c *Cluster) executeWrite(rec trace.Record, now sim.Time) sim.Time {
 // only reads it.
 func (c *Cluster) fanOut(file trace.FileID, accs []raid.Access, now sim.Time) sim.Time {
 	done := now
+	// Resolve the file's dense object-index base once; every traced
+	// record hits this path (trace validation couples records to declared
+	// files), the id-deriving fallback only serves hand-built callers.
+	base := int32(-1)
+	if r := c.rankOf(file); r >= 0 {
+		base = r * c.k
+	}
 	// Group accesses by object index, preserving order. K is small
 	// (paper: 4), so a linear scan beats a map.
 	var seen [16]bool
@@ -403,7 +483,12 @@ func (c *Cluster) fanOut(file trace.FileID, accs []raid.Access, now sim.Time) si
 			}
 		}
 		c.groupBuf = group[:0]
-		end := c.subOp(c.objectID(file, a.Obj), group, now)
+		var end sim.Time
+		if base >= 0 {
+			end = c.subOpAt(base+int32(a.Obj), group, now)
+		} else {
+			end = c.subOp(c.objectID(file, a.Obj), group, now)
+		}
 		if end > done {
 			done = end
 		}
@@ -418,6 +503,10 @@ func (c *Cluster) fanOut(file trace.FileID, accs []raid.Access, now sim.Time) si
 // reflects queueing, HDF locks, the fixed overhead, and the device
 // latency.
 func (c *Cluster) subOp(id object.ID, accs []raid.Access, now sim.Time) sim.Time {
+	if oi := c.indexOf(id); oi >= 0 {
+		return c.subOpAt(oi, accs, now)
+	}
+	// ID-keyed fallback for objects outside the dense tables.
 	osd := c.osds[c.locate(id)]
 	start := now
 	if osd.busyUntil > start {
@@ -450,7 +539,53 @@ func (c *Cluster) subOp(id object.ID, accs []raid.Access, now sim.Time) sim.Time
 			}
 		}
 	}
+	return c.finishSubOp(osd, dev, start, now)
+}
 
+// subOpAt is subOp for a dense-table object: owner, store slot and
+// tracker slot come straight off the tables, so the entire sub-operation
+// performs no map lookups and no allocations.
+func (c *Cluster) subOpAt(oi int32, accs []raid.Access, now sim.Time) sim.Time {
+	osd := c.osds[c.owner[oi]]
+	slot := c.oslot[oi]
+	tslot := temperature.Slot(slot)
+	start := now
+	if osd.busyUntil > start {
+		start = osd.busyUntil
+	}
+	ps := osd.Store.PageSize()
+	var dev sim.Time
+	for _, a := range accs {
+		if a.PreRead {
+			lat, err := osd.Store.ReadAt(slot, a.Offset, a.Length)
+			if err == nil {
+				dev += lat
+			}
+			if !a.Write {
+				osd.Tracker.TouchRead(tslot, int(pagesOf(a.Length, ps)), now)
+			}
+		}
+		if a.Write {
+			lat, err := osd.Store.WriteAt(slot, a.Offset, a.Length)
+			dev += lat
+			if err != nil {
+				c.rejected++
+			} else {
+				osd.Tracker.TouchWrite(tslot, int(pagesOf(a.Length, ps)), now)
+				if c.rec != nil {
+					c.rec.FlashWrite(telemetry.FlashWrite{
+						T: now, OSD: osd.ID, Obj: int64(c.oids[oi]), Pages: pagesOf(a.Length, ps),
+					})
+				}
+			}
+		}
+	}
+	return c.finishSubOp(osd, dev, start, now)
+}
+
+// finishSubOp applies the shared queueing/accounting tail of a
+// sub-operation and returns its completion time.
+func (c *Cluster) finishSubOp(osd *OSD, dev, start, now sim.Time) sim.Time {
 	dev = osd.scaledLat(dev, now)
 	doneAt := start + c.cfg.NetOverhead + dev
 	osd.busyUntil = doneAt

@@ -1,20 +1,31 @@
 package cluster
 
-import "edm/internal/raid"
+import (
+	"edm/internal/migration"
+	"edm/internal/raid"
+)
 
 // Scratch carries the reusable per-run buffers of a finished cluster to
 // the next one: RAID access scratch, the pooled operation-completion
-// records, and the response-histogram sample buffer. Repeated runs in an
+// records, the response-histogram sample buffer, the stream-sharding
+// index arrays, and the migration-snapshot arenas. Repeated runs in an
 // experiment sweep reach steady state without re-growing any of them.
 //
 // A Scratch is owned by exactly one run at a time (hand it to
 // Config.Scratch, recover it with Cluster.Release); the experiment
 // harness cycles them through a sync.Pool across its worker pool.
 type Scratch struct {
-	accs  []raid.Access
-	group []raid.Access
-	done  []*opDone
-	resp  []float64
+	accs     []raid.Access
+	group    []raid.Access
+	done     []*opDone
+	resp     []float64
+	pos      []int32
+	userCnt  []int32
+	userLook []int32
+	streams  []stream
+	arrivals []arrival
+	snapDevs []migration.DeviceState
+	snapObjs []migration.ObjectInfo
 }
 
 // adopt installs the scratch buffers into a freshly built cluster.
@@ -24,9 +35,18 @@ func (c *Cluster) adopt(s *Scratch) {
 	}
 	c.accsBuf = s.accs[:0]
 	c.groupBuf = s.group[:0]
-	c.donePool = s.done[:0]
+	// The done pool is a free list of reusable records: keep its full
+	// length (truncating would leak the pooled records back to the GC).
+	c.donePool = s.done
 	c.respAll.Reset(s.resp)
-	s.accs, s.group, s.done, s.resp = nil, nil, nil, nil
+	c.posBuf = s.pos[:0]
+	c.userCnt = s.userCnt[:0]
+	c.userLookup = s.userLook[:0]
+	c.streams = s.streams[:0]
+	c.arrivals = s.arrivals[:0]
+	c.snapDevs = s.snapDevs[:0]
+	c.snapObjs = s.snapObjs[:0]
+	*s = Scratch{}
 }
 
 // Release surrenders the cluster's (possibly grown) scratch buffers for
@@ -34,11 +54,21 @@ func (c *Cluster) adopt(s *Scratch) {
 // Result has been read; the cluster must not be used afterwards.
 func (c *Cluster) Release() *Scratch {
 	s := &Scratch{
-		accs:  c.accsBuf,
-		group: c.groupBuf,
-		done:  c.donePool,
-		resp:  c.respAll.Buffer(),
+		accs:     c.accsBuf,
+		group:    c.groupBuf,
+		done:     c.donePool,
+		resp:     c.respAll.Buffer(),
+		pos:      c.posBuf,
+		userCnt:  c.userCnt,
+		userLook: c.userLookup,
+		streams:  c.streams,
+		arrivals: c.arrivals,
+		snapDevs: c.snapDevs,
+		snapObjs: c.snapObjs,
 	}
 	c.accsBuf, c.groupBuf, c.donePool = nil, nil, nil
+	c.posBuf, c.userCnt, c.userLookup = nil, nil, nil
+	c.streams, c.arrivals = nil, nil
+	c.snapDevs, c.snapObjs = nil, nil
 	return s
 }

@@ -27,6 +27,8 @@ type CMT struct {
 	// SkipStoragePass disables the storage-usage balancing pass
 	// (ablation hook; the paper's CMT always runs it).
 	SkipStoragePass bool
+
+	sel selector // candidate-ranking scratch, reused across passes
 }
 
 // NewCMT returns a CMT planner with cfg (zero fields take defaults).
@@ -147,10 +149,10 @@ func (c *CMT) loadPass(s *Snapshot, loads []float64, mean float64, cfg Config, m
 			maxMoves = 4
 		}
 		movedHere := 0
-		cands := append([]ObjectInfo(nil), d.Objects...)
-		sortObjects(cands, false, func(o ObjectInfo) float64 { return o.CumAccesses }, true)
-		for _, o := range cands {
-			if heatToShed <= 0 || movedHere >= maxMoves {
+		c.sel.reset(d.Objects, byCumAccesses, false)
+		for heatToShed > 0 && movedHere < maxMoves {
+			o := c.sel.next()
+			if o == nil {
 				break
 			}
 			if o.CumAccesses <= 0 || moved[int64(o.ID)] {
@@ -205,10 +207,10 @@ func (c *CMT) storagePass(s *Snapshot, cfg Config, moved map[int64]bool) []Move 
 		if excess <= 0 {
 			continue
 		}
-		cands := append([]ObjectInfo(nil), d.Objects...)
-		sortObjects(cands, false, func(o ObjectInfo) float64 { return float64(o.Bytes) }, true)
-		for _, o := range cands {
-			if excess <= 0 {
+		c.sel.reset(d.Objects, byBytes, false)
+		for excess > 0 {
+			o := c.sel.next()
+			if o == nil {
 				break
 			}
 			if moved[int64(o.ID)] {

@@ -23,6 +23,8 @@ type HDF struct {
 	// shuffle at the trace midpoint); source/destination selection is
 	// unchanged.
 	Force bool
+
+	sel selector // candidate-ranking scratch, reused across rounds
 }
 
 // NewHDF returns an HDF planner with cfg (zero fields take defaults).
@@ -37,7 +39,7 @@ func (h *HDF) BlocksAccess() bool { return true }
 
 // Plan implements Planner.
 func (h *HDF) Plan(s *Snapshot) []Move {
-	return planEDM(s, ModeHDF, h.Cfg, h.Force)
+	return planEDM(s, ModeHDF, h.Cfg, h.Force, &h.sel)
 }
 
 // SetForce implements Forcible.
@@ -50,6 +52,8 @@ func (h *HDF) Forced() bool { return h.Force }
 type CDF struct {
 	Cfg   Config
 	Force bool
+
+	sel selector // candidate-ranking scratch, reused across rounds
 }
 
 // NewCDF returns a CDF planner with cfg (zero fields take defaults).
@@ -64,7 +68,7 @@ func (c *CDF) BlocksAccess() bool { return false }
 
 // Plan implements Planner.
 func (c *CDF) Plan(s *Snapshot) []Move {
-	return planEDM(s, ModeCDF, c.Cfg, c.Force)
+	return planEDM(s, ModeCDF, c.Cfg, c.Force, &c.sel)
 }
 
 // SetForce implements Forcible.
@@ -74,7 +78,7 @@ func (c *CDF) SetForce(f bool) { c.Force = f }
 func (c *CDF) Forced() bool { return c.Force }
 
 // planEDM is the shared EDM planning pipeline.
-func planEDM(s *Snapshot, mode Mode, cfg Config, force bool) []Move {
+func planEDM(s *Snapshot, mode Mode, cfg Config, force bool, sel *selector) []Move {
 	cfg.applyDefaults()
 	dec := EvaluateTrigger(s, cfg.Lambda)
 	if s.Recorder != nil {
@@ -108,9 +112,9 @@ func planEDM(s *Snapshot, mode Mode, cfg Config, force bool) []Move {
 		res := CalculateAmountOfDataMovement(s.Model, s.Devices, eligible, mode, cfg)
 		switch mode {
 		case ModeHDF:
-			moves = append(moves, selectHDF(s, eligible, res.DeltaWc, cfg)...)
+			moves = append(moves, selectHDF(s, eligible, res.DeltaWc, cfg, sel)...)
 		case ModeCDF:
-			moves = append(moves, selectCDF(s, eligible, res.DeltaU, cfg)...)
+			moves = append(moves, selectCDF(s, eligible, res.DeltaU, cfg, sel)...)
 		}
 	}
 	return moves
@@ -204,7 +208,7 @@ func buildDests(s *Snapshot, eligible []int, budget []float64, toPages func(i in
 // contribution to W_c is its write-page count in the current balancing
 // window; objects that received no writes cannot reduce W_c and are
 // never moved by HDF.
-func selectHDF(s *Snapshot, eligible []int, deltaWc []float64, cfg Config) []Move {
+func selectHDF(s *Snapshot, eligible []int, deltaWc []float64, cfg Config, sel *selector) []Move {
 	dests := buildDests(s, eligible, deltaWc,
 		func(_ int, b float64) float64 { return b }, cfg)
 	if len(dests) == 0 {
@@ -223,11 +227,10 @@ func selectHDF(s *Snapshot, eligible []int, deltaWc []float64, cfg Config) []Mov
 		// plan, and bound the per-source move count outright.
 		floor := need * 0.02
 		movesLeft := 24
-		cands := append([]ObjectInfo(nil), s.Devices[i].Objects...)
-		sortObjects(cands, cfg.PreferRemapped,
-			func(o ObjectInfo) float64 { return o.WriteTemp }, true)
-		for _, o := range cands {
-			if need <= 0 || movesLeft == 0 {
+		sel.reset(s.Devices[i].Objects, byWriteTemp, cfg.PreferRemapped)
+		for need > 0 && movesLeft > 0 {
+			o := sel.next()
+			if o == nil {
 				break
 			}
 			if o.WinWritePages < floor || o.WinWritePages <= 0 {
@@ -255,7 +258,7 @@ func selectHDF(s *Snapshot, eligible []int, deltaWc []float64, cfg Config) []Mov
 // ColdFraction of the device mean), sorts them largest-first, and sheds
 // pages until the planned utilization reduction is reached. Sources
 // below the 50% utilization cutoff are skipped entirely.
-func selectCDF(s *Snapshot, eligible []int, deltaU []float64, cfg Config) []Move {
+func selectCDF(s *Snapshot, eligible []int, deltaU []float64, cfg Config, sel *selector) []Move {
 	dests := buildDests(s, eligible, deltaU,
 		func(i int, b float64) float64 { return b * float64(s.Devices[i].CapacityPages) }, cfg)
 	if len(dests) == 0 {
@@ -285,10 +288,25 @@ func selectCDF(s *Snapshot, eligible []int, deltaU []float64, cfg Config) []Move
 			continue
 		}
 
-		cold := coldSet(dev.Objects, cfg.ColdFraction)
-		sortObjects(cold, false, func(o ObjectInfo) float64 { return float64(o.Bytes) }, true)
-		for _, o := range cold {
-			if needPages <= 0 {
+		// Cold set: objects whose total temperature falls below
+		// ColdFraction × the device's mean object temperature. The sum
+		// runs over dev.Objects in snapshot (ascending-id) order — float
+		// addition order is part of the determinism contract.
+		threshold := 0.0
+		if len(dev.Objects) > 0 {
+			var sum float64
+			for _, o := range dev.Objects {
+				sum += o.TotalTemp
+			}
+			threshold = cfg.ColdFraction * sum / float64(len(dev.Objects))
+		}
+		if threshold <= 0 {
+			threshold = math.SmallestNonzeroFloat64
+		}
+		sel.resetCold(dev.Objects, byBytes, threshold)
+		for needPages > 0 {
+			o := sel.next()
+			if o == nil {
 				break
 			}
 			d := pickDest(dests, o.Pages)
@@ -302,27 +320,4 @@ func selectCDF(s *Snapshot, eligible []int, deltaU []float64, cfg Config) []Move
 		}
 	}
 	return moves
-}
-
-// coldSet returns the objects whose total temperature falls below
-// frac × the device's mean object temperature.
-func coldSet(objs []ObjectInfo, frac float64) []ObjectInfo {
-	if len(objs) == 0 {
-		return nil
-	}
-	var sum float64
-	for _, o := range objs {
-		sum += o.TotalTemp
-	}
-	threshold := frac * sum / float64(len(objs))
-	if threshold <= 0 {
-		threshold = math.SmallestNonzeroFloat64
-	}
-	var cold []ObjectInfo
-	for _, o := range objs {
-		if o.TotalTemp < threshold {
-			cold = append(cold, o)
-		}
-	}
-	return cold
 }

@@ -13,7 +13,6 @@ package migration
 
 import (
 	"math"
-	"sort"
 
 	"edm/internal/object"
 	"edm/internal/placement"
@@ -24,7 +23,12 @@ import (
 
 // ObjectInfo is the per-object state a planner can see.
 type ObjectInfo struct {
-	ID       object.ID
+	ID object.ID
+	// Index is the object's cluster-wide dense handle, used as the
+	// deterministic selection tiebreak; −1 when the snapshot builder has
+	// no dense table (index order equals id order, so the id fallback
+	// ranks identically).
+	Index    int32
 	Home     int   // hash-placement home OSD
 	Pages    int64 // logical pages occupied
 	Bytes    int64 // object size in bytes
@@ -226,24 +230,4 @@ func EvaluateTrigger(s *Snapshot, lambda float64) TriggerDecision {
 		}
 	}
 	return dec
-}
-
-// sortObjects orders candidates for selection: optionally
-// remapped-first, then by the key (descending for hot-first, ascending
-// for cold-first), with object id as the final deterministic tiebreak.
-func sortObjects(objs []ObjectInfo, preferRemapped bool, key func(ObjectInfo) float64, descending bool) {
-	sort.Slice(objs, func(i, j int) bool {
-		a, b := objs[i], objs[j]
-		if preferRemapped && a.Remapped != b.Remapped {
-			return a.Remapped
-		}
-		ka, kb := key(a), key(b)
-		if ka != kb {
-			if descending {
-				return ka > kb
-			}
-			return ka < kb
-		}
-		return a.ID < b.ID
-	})
 }

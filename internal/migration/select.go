@@ -1,0 +1,136 @@
+// Lazy top-k candidate selection. The planners only ever consume a
+// bounded prefix of their ranked candidate list — HDF stops after the
+// ΔW_c budget or 24 moves per source, CMT after len/16 — so fully
+// sorting every device's object list is wasted work. A max-heap over
+// candidate indexes pops the ranked order incrementally: building it is
+// O(n), and consuming k candidates costs O(k log n), instead of the old
+// copy + O(n log n) sort per source per round.
+//
+// The pop order is governed by a strict total order (key descending,
+// remapped-first when requested, ObjectIndex/ID ascending as the final
+// tiebreak), so the sequence of candidates is exactly the order the old
+// sortObjects produced — plans are byte-identical, just cheaper.
+package migration
+
+// rankKey selects which ObjectInfo field ranks candidates.
+type rankKey uint8
+
+const (
+	byWriteTemp   rankKey = iota // HDF: hottest written first
+	byBytes                      // CDF + CMT storage pass: largest first
+	byCumAccesses                // CMT load pass: most-accessed first
+)
+
+func (k rankKey) of(o *ObjectInfo) float64 {
+	switch k {
+	case byWriteTemp:
+		return o.WriteTemp
+	case byBytes:
+		return float64(o.Bytes)
+	default:
+		return o.CumAccesses
+	}
+}
+
+// selector yields a device's objects in ranked order, lazily. It holds
+// only indexes into the snapshot's object slice; the scratch heap is
+// reused across sources and rounds (planners are per-run values, so no
+// sharing across goroutines).
+type selector struct {
+	objs          []ObjectInfo
+	heap          []int32
+	key           rankKey
+	remappedFirst bool
+}
+
+// reset points the selector at a device's objects with the given
+// ranking. All objects become candidates.
+func (s *selector) reset(objs []ObjectInfo, key rankKey, remappedFirst bool) {
+	s.objs = objs
+	s.key = key
+	s.remappedFirst = remappedFirst
+	s.heap = s.heap[:0]
+	for i := range objs {
+		s.heap = append(s.heap, int32(i))
+	}
+	s.heapify()
+}
+
+// resetCold is reset restricted to cold objects: those whose total
+// temperature is below the given threshold (CDF's cold set).
+func (s *selector) resetCold(objs []ObjectInfo, key rankKey, coldBelow float64) {
+	s.objs = objs
+	s.key = key
+	s.remappedFirst = false
+	s.heap = s.heap[:0]
+	for i := range objs {
+		if objs[i].TotalTemp < coldBelow {
+			s.heap = append(s.heap, int32(i))
+		}
+	}
+	s.heapify()
+}
+
+// next pops the best remaining candidate, or nil when drained. The
+// returned pointer aliases the snapshot and is valid until the snapshot
+// is reused.
+func (s *selector) next() *ObjectInfo {
+	n := len(s.heap)
+	if n == 0 {
+		return nil
+	}
+	top := s.heap[0]
+	s.heap[0] = s.heap[n-1]
+	s.heap = s.heap[:n-1]
+	if len(s.heap) > 1 {
+		s.siftDown(0)
+	}
+	return &s.objs[top]
+}
+
+// before reports whether object a ranks strictly before object b. The
+// order is total: key descending (remapped-first when configured), then
+// ObjectIndex ascending, falling back to object id when either side
+// predates index assignment. Index order equals id order by
+// construction, so the fallback never changes the ranking — it only
+// covers snapshots built without dense handles.
+func (s *selector) before(a, b int32) bool {
+	oa, ob := &s.objs[a], &s.objs[b]
+	if s.remappedFirst && oa.Remapped != ob.Remapped {
+		return oa.Remapped
+	}
+	ka, kb := s.key.of(oa), s.key.of(ob)
+	if ka != kb {
+		return ka > kb
+	}
+	if oa.Index >= 0 && ob.Index >= 0 && oa.Index != ob.Index {
+		return oa.Index < ob.Index
+	}
+	return oa.ID < ob.ID
+}
+
+func (s *selector) heapify() {
+	for i := len(s.heap)/2 - 1; i >= 0; i-- {
+		s.siftDown(i)
+	}
+}
+
+func (s *selector) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && s.before(h[r], h[l]) {
+			best = r
+		}
+		if !s.before(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}

@@ -1,0 +1,138 @@
+package migration
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"edm/internal/object"
+)
+
+// refOrder ranks objs with a reference sort under the selector's
+// documented total order: key descending (remapped first when set),
+// then Index ascending, then ID ascending.
+func refOrder(objs []ObjectInfo, key rankKey, remappedFirst bool) []object.ID {
+	idx := make([]int, len(objs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool {
+		a, b := &objs[idx[x]], &objs[idx[y]]
+		if remappedFirst && a.Remapped != b.Remapped {
+			return a.Remapped
+		}
+		ka, kb := key.of(a), key.of(b)
+		if ka != kb {
+			return ka > kb
+		}
+		if a.Index >= 0 && b.Index >= 0 && a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.ID < b.ID
+	})
+	out := make([]object.ID, len(idx))
+	for i, j := range idx {
+		out[i] = objs[j].ID
+	}
+	return out
+}
+
+// TestSelectorMatchesReferenceSort drains the heap selector over
+// pseudorandom populations with heavy key ties and checks the pop
+// sequence equals a full reference sort — the equivalence that makes
+// the top-k rewrite plan-preserving.
+func TestSelectorMatchesReferenceSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	keys := []rankKey{byWriteTemp, byBytes, byCumAccesses}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(64)
+		objs := make([]ObjectInfo, n)
+		perm := rng.Perm(4096)
+		for i := range objs {
+			// Few distinct key values, so ties dominate. IDs are unique
+			// and Index — when assigned — follows id order, the dense
+			// tables' construction invariant the tiebreak relies on.
+			v := float64(rng.Intn(4))
+			id := object.ID(perm[i])
+			idx := int32(id)
+			if rng.Intn(4) == 0 {
+				idx = -1 // object predating index assignment
+			}
+			objs[i] = ObjectInfo{
+				ID:          id,
+				Index:       idx,
+				Bytes:       int64(v) * 4096,
+				WriteTemp:   v,
+				TotalTemp:   2 * v,
+				CumAccesses: v,
+				Remapped:    rng.Intn(3) == 0,
+			}
+		}
+		key := keys[trial%len(keys)]
+		remFirst := trial%2 == 0
+		var sel selector
+		sel.reset(objs, key, remFirst)
+		var got []object.ID
+		for o := sel.next(); o != nil; o = sel.next() {
+			got = append(got, o.ID)
+		}
+		want := refOrder(objs, key, remFirst)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (key %d, remappedFirst %v): selector order %v, reference sort %v",
+				trial, key, remFirst, got, want)
+		}
+	}
+}
+
+// tiedSnapshot builds an imbalanced snapshot whose overloaded device's
+// objects all share one write temperature, so every selection step is
+// decided purely by the deterministic tiebreak.
+func tiedSnapshot() *Snapshot {
+	s := snap([]float64{80000, 0, 0, 0}, []float64{0.65, 0.6, 0.55, 0.6})
+	d := &s.Devices[0]
+	for i := 0; i < 24; i++ {
+		d.Objects = append(d.Objects, ObjectInfo{
+			ID:            object.ID(3000 + i),
+			Home:          0,
+			Pages:         100,
+			Bytes:         100 * 4096,
+			WriteTemp:     80000.0 / 24, // all tied
+			TotalTemp:     80000.0 / 12,
+			WinWritePages: 80000.0 / 24,
+		})
+	}
+	return s
+}
+
+// TestPlanDeterministicUnderTiedTemperatures is the planner-determinism
+// regression for the selection rewrite: two independent planning runs
+// over identically tied candidates must produce identical plans, and
+// tied candidates must be consumed in ascending-id order (the explicit
+// total order), not map or heap insertion order.
+func TestPlanDeterministicUnderTiedTemperatures(t *testing.T) {
+	plan := func() []Move {
+		h := NewHDF(DefaultConfig())
+		h.SetForce(true)
+		return h.Plan(tiedSnapshot())
+	}
+	first := plan()
+	if len(first) == 0 {
+		t.Fatal("forced HDF produced no moves on an imbalanced snapshot")
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Obj >= first[i].Obj {
+			t.Fatalf("tied candidates selected out of id order: %d before %d",
+				first[i-1].Obj, first[i].Obj)
+		}
+	}
+	for run := 0; run < 10; run++ {
+		if again := plan(); !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d: plan diverged under tied temperatures:\nfirst %+v\nagain %+v",
+				run, first, again)
+		}
+	}
+}

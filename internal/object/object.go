@@ -2,6 +2,14 @@
 // objects bound to logical-page extents on a flash.SSD. Object-based
 // storage devices (osc-osd in the paper's testbed) expose exactly this
 // interface — create/delete/read/write by object id and byte range.
+//
+// Internally the store is a struct-of-arrays table indexed by a compact
+// Index handle: parallel slices hold each object's id, size, page count
+// and first extent, with overflow extents spilled to a side slice. The
+// handle is minted at creation and stays valid until the object is
+// deleted, so hot callers (the cluster replay loop) resolve an object
+// once and then address it by plain slice indexing; the ID-keyed API
+// remains as a thin map-backed shim for cold paths.
 package object
 
 import (
@@ -16,6 +24,16 @@ import (
 // ID is a cluster-wide unique object identifier.
 type ID int64
 
+// Index is a store-local dense handle for a resident object. Handles
+// are minted by CreateIndexed, stay stable until the object is deleted,
+// and are recycled afterwards; they index the store's internal tables
+// directly, so the *At methods cost a slice access where the ID-keyed
+// shims cost a map lookup.
+type Index int32
+
+// NoIndex is the invalid handle.
+const NoIndex Index = -1
+
 // ErrNoSpace is returned when the store cannot allocate logical pages
 // for a new object without exceeding the SSD's live-data headroom.
 var ErrNoSpace = errors.New("object: no space for object")
@@ -29,27 +47,35 @@ type extent struct {
 	pages int64
 }
 
-type objectState struct {
-	size    int64 // bytes
-	extents []extent
-}
-
-func (o *objectState) pages() int64 {
-	var n int64
-	for _, e := range o.extents {
-		n += e.pages
-	}
-	return n
-}
-
 // Store manages the objects resident on one SSD. It is single-threaded
 // like everything on the DES.
 type Store struct {
 	ssd      *flash.SSD
 	pageSize int64
-	objs     map[ID]*objectState
-	free     []extent // sorted by start, coalesced
+
+	// Object table: parallel slices indexed by Index. ext0 holds the
+	// first extent inline (after warm-up almost every object has exactly
+	// one); spill holds any further extents.
+	ids    []ID
+	sizes  []int64
+	npages []int64
+	ext0   []extent
+	spill  [][]extent
+	inUse  []bool
+
+	byID      map[ID]Index // ID-keyed shim index (cold paths)
+	freeSlots []Index
+	live      int
+
+	// sorted caches the live slots in ascending-ID order; every
+	// create/delete invalidates it. Snapshot and audit walks depend on
+	// this order (float sums over it must be stable across refactors).
+	sorted   []Index
+	sortedOK bool
+
+	free     []extent // free logical space, sorted by start, coalesced
 	usedPgs  int64
+	allocBuf []extent // scratch for alloc results, reused across calls
 }
 
 // NewStore wraps an SSD. The usable logical space is the SSD's
@@ -58,7 +84,7 @@ func NewStore(ssd *flash.SSD) *Store {
 	return &Store{
 		ssd:      ssd,
 		pageSize: ssd.Config().PageSize,
-		objs:     make(map[ID]*objectState),
+		byID:     make(map[ID]Index),
 		free:     []extent{{start: 0, pages: ssd.MaxLivePages()}},
 	}
 }
@@ -70,7 +96,7 @@ func (st *Store) SSD() *flash.SSD { return st.ssd }
 func (st *Store) PageSize() int64 { return st.pageSize }
 
 // Len returns the number of resident objects.
-func (st *Store) Len() int { return len(st.objs) }
+func (st *Store) Len() int { return st.live }
 
 // UsedPages returns logical pages allocated to objects.
 func (st *Store) UsedPages() int64 { return st.usedPgs }
@@ -81,32 +107,66 @@ func (st *Store) UsedBytes() int64 { return st.usedPgs * st.pageSize }
 // CapacityPages returns the usable logical page count.
 func (st *Store) CapacityPages() int64 { return st.ssd.MaxLivePages() }
 
+// Lookup resolves an object id to its dense handle.
+func (st *Store) Lookup(id ID) (Index, bool) {
+	idx, ok := st.byID[id]
+	return idx, ok
+}
+
 // Has reports whether the object is resident.
-func (st *Store) Has(id ID) bool { _, ok := st.objs[id]; return ok }
+func (st *Store) Has(id ID) bool { _, ok := st.byID[id]; return ok }
 
 // Size returns the object's size in bytes, or 0 if absent.
 func (st *Store) Size(id ID) int64 {
-	if o := st.objs[id]; o != nil {
-		return o.size
+	if idx, ok := st.byID[id]; ok {
+		return st.sizes[idx]
 	}
 	return 0
 }
 
 // Pages returns the number of logical pages backing the object.
 func (st *Store) Pages(id ID) int64 {
-	if o := st.objs[id]; o != nil {
-		return o.pages()
+	if idx, ok := st.byID[id]; ok {
+		return st.npages[idx]
 	}
 	return 0
 }
 
+// IDAt returns the id of the object at idx.
+func (st *Store) IDAt(idx Index) ID { return st.ids[idx] }
+
+// SizeAt returns the size in bytes of the object at idx.
+func (st *Store) SizeAt(idx Index) int64 { return st.sizes[idx] }
+
+// PagesAt returns the logical page count of the object at idx.
+func (st *Store) PagesAt(idx Index) int64 { return st.npages[idx] }
+
+// SortedIndices returns the live handles in ascending object-id order.
+// The slice is owned by the store and valid until the next create or
+// delete; callers must not modify or retain it.
+func (st *Store) SortedIndices() []Index {
+	if !st.sortedOK {
+		st.sorted = st.sorted[:0]
+		for i := range st.ids {
+			if st.inUse[i] {
+				st.sorted = append(st.sorted, Index(i))
+			}
+		}
+		sort.Slice(st.sorted, func(a, b int) bool {
+			return st.ids[st.sorted[a]] < st.ids[st.sorted[b]]
+		})
+		st.sortedOK = true
+	}
+	return st.sorted
+}
+
 // IDs returns the resident object ids in ascending order.
 func (st *Store) IDs() []ID {
-	ids := make([]ID, 0, len(st.objs))
-	for id := range st.objs {
-		ids = append(ids, id)
+	slots := st.SortedIndices()
+	ids := make([]ID, len(slots))
+	for i, s := range slots {
+		ids[i] = st.ids[s]
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
@@ -117,33 +177,76 @@ func (st *Store) pagesFor(bytes int64) int64 {
 	return (bytes + st.pageSize - 1) / st.pageSize
 }
 
+// newSlot returns a free table slot, growing the table when none is
+// recycled.
+func (st *Store) newSlot() Index {
+	if n := len(st.freeSlots); n > 0 {
+		idx := st.freeSlots[n-1]
+		st.freeSlots = st.freeSlots[:n-1]
+		return idx
+	}
+	st.ids = append(st.ids, 0)
+	st.sizes = append(st.sizes, 0)
+	st.npages = append(st.npages, 0)
+	st.ext0 = append(st.ext0, extent{})
+	st.spill = append(st.spill, nil)
+	st.inUse = append(st.inUse, false)
+	return Index(len(st.ids) - 1)
+}
+
 // Create allocates an object of the given size without writing its data
 // (use Populate for that). It fails with ErrNoSpace if the allocation
 // would exceed the usable logical space.
 func (st *Store) Create(id ID, size int64) error {
-	if _, ok := st.objs[id]; ok {
-		return fmt.Errorf("object: %d already exists", id)
+	_, err := st.CreateIndexed(id, size)
+	return err
+}
+
+// CreateIndexed is Create returning the new object's dense handle.
+func (st *Store) CreateIndexed(id ID, size int64) (Index, error) {
+	if _, ok := st.byID[id]; ok {
+		return NoIndex, fmt.Errorf("object: %d already exists", id)
 	}
 	need := st.pagesFor(size)
 	exts, ok := st.alloc(need)
 	if !ok {
-		return fmt.Errorf("%w: %d pages for object %d", ErrNoSpace, need, id)
+		return NoIndex, fmt.Errorf("%w: %d pages for object %d", ErrNoSpace, need, id)
 	}
-	st.objs[id] = &objectState{size: size, extents: exts}
+	idx := st.newSlot()
+	st.ids[idx] = id
+	st.sizes[idx] = size
+	st.npages[idx] = need
+	st.ext0[idx] = exts[0]
+	st.spill[idx] = append(st.spill[idx][:0], exts[1:]...)
+	st.inUse[idx] = true
+	st.byID[id] = idx
+	st.live++
 	st.usedPgs += need
-	return nil
+	st.sortedOK = false
+	return idx, nil
 }
 
 // Populate writes every page of the object (pre-creation fill, §V.A:
 // files are "pre-created and populated with sufficient data"), returning
 // the accumulated device latency.
 func (st *Store) Populate(id ID) (sim.Time, error) {
-	o := st.objs[id]
-	if o == nil {
+	idx, ok := st.byID[id]
+	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
+	return st.PopulateAt(idx)
+}
+
+// PopulateAt is Populate by dense handle.
+func (st *Store) PopulateAt(idx Index) (sim.Time, error) {
 	var lat sim.Time
-	for _, e := range o.extents {
+	e := st.ext0[idx]
+	l, err := st.ssd.WriteN(e.start, int(e.pages))
+	lat += l
+	if err != nil {
+		return lat, err
+	}
+	for _, e := range st.spill[idx] {
 		l, err := st.ssd.WriteN(e.start, int(e.pages))
 		lat += l
 		if err != nil {
@@ -155,135 +258,175 @@ func (st *Store) Populate(id ID) (sim.Time, error) {
 
 // Delete removes the object, trimming its pages on the device.
 func (st *Store) Delete(id ID) error {
-	o := st.objs[id]
-	if o == nil {
+	idx, ok := st.byID[id]
+	if !ok {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	for _, e := range o.extents {
+	st.DeleteIndexed(idx)
+	return nil
+}
+
+// DeleteIndexed removes the object at idx, trimming its pages on the
+// device; the handle is recycled for later creations.
+func (st *Store) DeleteIndexed(idx Index) {
+	e := st.ext0[idx]
+	st.ssd.TrimN(e.start, int(e.pages))
+	st.release(e)
+	st.usedPgs -= e.pages
+	for _, e := range st.spill[idx] {
 		st.ssd.TrimN(e.start, int(e.pages))
 		st.release(e)
 		st.usedPgs -= e.pages
 	}
-	delete(st.objs, id)
-	return nil
-}
-
-// pageRange maps a byte range of the object to page indices
-// [first, last] within the object's logical page sequence.
-func (st *Store) pageRange(o *objectState, off, length int64) (first, count int64) {
-	if length <= 0 {
-		return 0, 0
-	}
-	first = off / st.pageSize
-	last := (off + length - 1) / st.pageSize
-	return first, last - first + 1
-}
-
-// forEachPage walks the LPAs backing object pages [first, first+count).
-func (o *objectState) forEachPage(first, count int64, fn func(lpa int64) error) error {
-	idx := int64(0)
-	for _, e := range o.extents {
-		if count == 0 {
-			return nil
-		}
-		if first >= idx+e.pages {
-			idx += e.pages
-			continue
-		}
-		// Overlap within this extent.
-		startIn := int64(0)
-		if first > idx {
-			startIn = first - idx
-		}
-		for p := startIn; p < e.pages && count > 0; p++ {
-			if err := fn(e.start + p); err != nil {
-				return err
-			}
-			first++
-			count--
-		}
-		idx += e.pages
-	}
-	if count > 0 {
-		return fmt.Errorf("object: page walk ran past object end (%d pages unvisited)", count)
-	}
-	return nil
+	delete(st.byID, st.ids[idx])
+	st.inUse[idx] = false
+	st.spill[idx] = st.spill[idx][:0]
+	st.freeSlots = append(st.freeSlots, idx)
+	st.live--
+	st.sortedOK = false
 }
 
 // Write services a byte-range write, growing the object when the range
 // extends past its current size. Returns the device latency.
 func (st *Store) Write(id ID, off, length int64) (sim.Time, error) {
-	o := st.objs[id]
-	if o == nil {
+	idx, ok := st.byID[id]
+	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
+	return st.WriteAt(idx, off, length)
+}
+
+// WriteAt is Write by dense handle.
+func (st *Store) WriteAt(idx Index, off, length int64) (sim.Time, error) {
 	if length <= 0 {
 		return 0, nil
 	}
-	if end := off + length; end > o.size {
-		if err := st.grow(o, end); err != nil {
+	if end := off + length; end > st.sizes[idx] {
+		if err := st.growAt(idx, end); err != nil {
 			return 0, err
 		}
 	}
-	first, count := st.pageRange(o, off, length)
+	first := off / st.pageSize
+	count := (off+length-1)/st.pageSize - first + 1
 	var lat sim.Time
-	err := o.forEachPage(first, count, func(lpa int64) error {
-		l, werr := st.ssd.Write(lpa)
+	base := int64(0)
+	for i, n := 0, st.extentCount(idx); i < n && count > 0; i++ {
+		e := st.extentAt(idx, i)
+		if first >= base+e.pages {
+			base += e.pages
+			continue
+		}
+		startIn := int64(0)
+		if first > base {
+			startIn = first - base
+		}
+		run := e.pages - startIn
+		if run > count {
+			run = count
+		}
+		l, err := st.ssd.WriteN(e.start+startIn, int(run))
 		lat += l
-		return werr
-	})
-	return lat, err
+		if err != nil {
+			return lat, err
+		}
+		first += run
+		count -= run
+		base += e.pages
+	}
+	if count > 0 {
+		return lat, fmt.Errorf("object: page walk ran past object end (%d pages unvisited)", count)
+	}
+	return lat, nil
 }
 
 // Read services a byte-range read, clamped to the object's size.
 func (st *Store) Read(id ID, off, length int64) (sim.Time, error) {
-	o := st.objs[id]
-	if o == nil {
+	idx, ok := st.byID[id]
+	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	if off >= o.size || length <= 0 {
+	return st.ReadAt(idx, off, length)
+}
+
+// ReadAt is Read by dense handle.
+func (st *Store) ReadAt(idx Index, off, length int64) (sim.Time, error) {
+	size := st.sizes[idx]
+	if off >= size || length <= 0 {
 		return 0, nil
 	}
-	if off+length > o.size {
-		length = o.size - off
+	if off+length > size {
+		length = size - off
 	}
-	first, count := st.pageRange(o, off, length)
+	first := off / st.pageSize
+	count := (off+length-1)/st.pageSize - first + 1
 	var lat sim.Time
-	err := o.forEachPage(first, count, func(lpa int64) error {
-		lat += st.ssd.Read(lpa)
-		return nil
-	})
-	return lat, err
+	base := int64(0)
+	for i, n := 0, st.extentCount(idx); i < n && count > 0; i++ {
+		e := st.extentAt(idx, i)
+		if first >= base+e.pages {
+			base += e.pages
+			continue
+		}
+		startIn := int64(0)
+		if first > base {
+			startIn = first - base
+		}
+		run := e.pages - startIn
+		if run > count {
+			run = count
+		}
+		lat += st.ssd.ReadN(e.start+startIn, int(run))
+		first += run
+		count -= run
+		base += e.pages
+	}
+	if count > 0 {
+		return lat, fmt.Errorf("object: page walk ran past object end (%d pages unvisited)", count)
+	}
+	return lat, nil
 }
 
 // ReadAll reads every page of the object (migration source path).
 func (st *Store) ReadAll(id ID) (sim.Time, error) {
-	o := st.objs[id]
-	if o == nil {
+	idx, ok := st.byID[id]
+	if !ok {
 		return 0, fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
-	return st.Read(id, 0, o.size)
+	return st.ReadAt(idx, 0, st.sizes[idx])
 }
 
-// grow extends the object to newSize bytes, allocating extra extents.
-func (st *Store) grow(o *objectState, newSize int64) error {
-	have := o.pages()
+// extentCount returns the number of extents backing the object at idx.
+func (st *Store) extentCount(idx Index) int { return 1 + len(st.spill[idx]) }
+
+// extentAt returns the object's i-th extent (0 is the inline extent).
+func (st *Store) extentAt(idx Index, i int) extent {
+	if i == 0 {
+		return st.ext0[idx]
+	}
+	return st.spill[idx][i-1]
+}
+
+// growAt extends the object to newSize bytes, allocating extra extents.
+func (st *Store) growAt(idx Index, newSize int64) error {
+	have := st.npages[idx]
 	need := st.pagesFor(newSize)
 	if need > have {
 		exts, ok := st.alloc(need - have)
 		if !ok {
 			return fmt.Errorf("%w: grow by %d pages", ErrNoSpace, need-have)
 		}
-		o.extents = append(o.extents, exts...)
+		st.spill[idx] = append(st.spill[idx], exts...)
+		st.npages[idx] = need
 		st.usedPgs += need - have
 	}
-	o.size = newSize
+	st.sizes[idx] = newSize
 	return nil
 }
 
 // alloc reserves n logical pages, possibly across several extents
 // (first-fit, splitting free runs). It returns ok=false, allocating
-// nothing, when fewer than n pages are free.
+// nothing, when fewer than n pages are free. The returned slice is the
+// store's scratch buffer, valid until the next alloc call.
 func (st *Store) alloc(n int64) ([]extent, bool) {
 	var freeTotal int64
 	for _, e := range st.free {
@@ -292,7 +435,7 @@ func (st *Store) alloc(n int64) ([]extent, bool) {
 	if freeTotal < n {
 		return nil, false
 	}
-	var got []extent
+	got := st.allocBuf[:0]
 	for i := 0; i < len(st.free) && n > 0; {
 		e := &st.free[i]
 		take := e.pages
@@ -312,6 +455,7 @@ func (st *Store) alloc(n int64) ([]extent, bool) {
 	if n != 0 {
 		panic("object: allocator accounting mismatch")
 	}
+	st.allocBuf = got
 	return got, true
 }
 
@@ -332,11 +476,33 @@ func (st *Store) release(e extent) {
 	}
 }
 
-// CheckInvariants validates allocator bookkeeping (tests).
+// CheckInvariants validates allocator and table bookkeeping (tests).
 func (st *Store) CheckInvariants() error {
 	var used int64
-	for _, o := range st.objs {
-		used += o.pages()
+	live := 0
+	for i := range st.ids {
+		if !st.inUse[i] {
+			continue
+		}
+		live++
+		idx := Index(i)
+		var pages int64
+		for j, n := 0, st.extentCount(idx); j < n; j++ {
+			pages += st.extentAt(idx, j).pages
+		}
+		if pages != st.npages[i] {
+			return fmt.Errorf("object: slot %d caches %d pages, extents hold %d", i, st.npages[i], pages)
+		}
+		if got, ok := st.byID[st.ids[i]]; !ok || got != idx {
+			return fmt.Errorf("object: slot %d (object %d) missing from id index", i, st.ids[i])
+		}
+		used += pages
+	}
+	if live != st.live {
+		return fmt.Errorf("object: live=%d, actual %d", st.live, live)
+	}
+	if live != len(st.byID) {
+		return fmt.Errorf("object: id index holds %d entries for %d live objects", len(st.byID), live)
 	}
 	if used != st.usedPgs {
 		return fmt.Errorf("object: usedPgs=%d, actual %d", st.usedPgs, used)

@@ -171,6 +171,16 @@ func (l Layout) Place(inode int64) []int {
 	return out
 }
 
+// AppendHomes appends the home SSDs of the file's k objects to dst (the
+// allocation-free bulk form of Place, used when prefilling the cluster's
+// dense home table).
+func (l Layout) AppendHomes(dst []int32, inode int64) []int32 {
+	for i := 0; i < l.K; i++ {
+		dst = append(dst, int32(l.HomeOf(inode, i)))
+	}
+	return dst
+}
+
 // HomeOf returns the home SSD of the file's idx-th object.
 func (l Layout) HomeOf(inode int64, idx int) int {
 	if idx < 0 || idx >= l.K {

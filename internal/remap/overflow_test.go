@@ -1,0 +1,85 @@
+package remap
+
+import (
+	"reflect"
+	"testing"
+
+	"edm/internal/object"
+)
+
+// TestOverflowIDs exercises the map fallback for ids the dense array
+// cannot index: negative ids and ids at or beyond the dense bound.
+func TestOverflowIDs(t *testing.T) {
+	tb := New()
+	huge := object.ID(maxDense) + 7
+	neg := object.ID(-3)
+
+	tb.Record(huge, 1, 4)
+	tb.Record(neg, 2, 5)
+	tb.Record(10, 0, 3) // dense entry alongside the overflow ones
+
+	if got := tb.Lookup(huge, 1); got != 4 {
+		t.Fatalf("Lookup(huge) = %d, want 4", got)
+	}
+	if got := tb.Lookup(neg, 2); got != 5 {
+		t.Fatalf("Lookup(neg) = %d, want 5", got)
+	}
+	if !tb.Contains(huge) || !tb.Contains(neg) || !tb.Contains(10) {
+		t.Fatal("Contains lost an entry")
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tb.Len())
+	}
+	want := []object.ID{neg, 10, huge}
+	if got := tb.Entries(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Entries = %v, want %v", got, want)
+	}
+
+	// Overflow entries follow the same move-home removal rule.
+	tb.Record(huge, 1, 1)
+	tb.Record(neg, 2, 2)
+	if tb.Contains(huge) || tb.Contains(neg) {
+		t.Fatal("overflow entries survived a move back home")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d after removals, want 1", tb.Len())
+	}
+	st := tb.Stats()
+	if st.Moves != 5 || st.Inserts != 3 || st.Removals != 2 {
+		t.Fatalf("Stats = %+v, want 5 moves / 3 inserts / 2 removals", st)
+	}
+}
+
+// TestReserveAvoidsGrowthAllocations pins Reserve's purpose: once the
+// dense array covers the object population, recording and removing
+// entries in that range never allocates.
+func TestReserveAvoidsGrowthAllocations(t *testing.T) {
+	tb := New()
+	const n = 10000
+	tb.Reserve(n)
+	id := object.ID(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tb.Record(id, 0, 1) // insert
+		tb.Record(id, 0, 2) // update
+		tb.Record(id, 0, 0) // remove (back home)
+		id = (id + 7919) % n
+	})
+	if allocs != 0 {
+		t.Fatalf("Record on a reserved range allocated %v times per run; want 0", allocs)
+	}
+}
+
+// TestReserveClampsToDenseBound documents that Reserve cannot push the
+// dense array past maxDense.
+func TestReserveClampsToDenseBound(t *testing.T) {
+	tb := New()
+	tb.Reserve(maxDense + 500)
+	if len(tb.dense) != maxDense {
+		t.Fatalf("dense array grew to %d, want clamp at %d", len(tb.dense), maxDense)
+	}
+	// An id past the bound still works, via overflow.
+	tb.Record(object.ID(maxDense)+1, 0, 9)
+	if got := tb.Lookup(object.ID(maxDense)+1, 0); got != 9 {
+		t.Fatalf("Lookup past dense bound = %d, want 9", got)
+	}
+}

@@ -4,6 +4,12 @@
 // home SSD need entries; the table's size therefore grows with the
 // number of distinct moved objects, which is why EDM prefers re-moving
 // objects that already have entries.
+//
+// The table is a dense int32 array indexed directly by object id (ids
+// are minted densely from file ids, so the array stays proportional to
+// the object population), with a map fallback for ids outside the dense
+// range. Lookup on the replay hot path is a bounds check plus one slice
+// load.
 package remap
 
 import (
@@ -12,10 +18,20 @@ import (
 	"edm/internal/object"
 )
 
+// maxDense bounds the dense array so a single huge object id cannot
+// balloon memory; ids at or beyond it fall back to the overflow map.
+const maxDense = 1 << 22
+
+// noEntry marks a dense slot with no remap entry.
+const noEntry = int32(-1)
+
 // Table maps moved objects to their current OSD. The zero value is not
 // usable; construct with New.
 type Table struct {
-	entries map[object.ID]int
+	dense    []int32             // dense[id] = OSD, or noEntry; ids in [0, len)
+	overflow map[object.ID]int32 // ids < 0 or >= maxDense
+
+	entries int // live entry count across dense + overflow
 
 	moves       uint64 // total migration actions recorded
 	inserts     uint64 // moves that created a new entry
@@ -26,14 +42,59 @@ type Table struct {
 
 // New returns an empty table.
 func New() *Table {
-	return &Table{entries: make(map[object.ID]int)}
+	return &Table{overflow: make(map[object.ID]int32)}
+}
+
+// Reserve pre-sizes the dense array for ids in [0, n), avoiding growth
+// churn when the object population is known up front.
+func (t *Table) Reserve(n int) {
+	if n > maxDense {
+		n = maxDense
+	}
+	for len(t.dense) < n {
+		t.dense = append(t.dense, noEntry)
+	}
+}
+
+// denseIdx reports whether id is addressable in the dense array (growing
+// it on demand when grow is set).
+func (t *Table) denseIdx(id object.ID, grow bool) (int, bool) {
+	if id < 0 || id >= maxDense {
+		return 0, false
+	}
+	i := int(id)
+	if i >= len(t.dense) {
+		if !grow {
+			return 0, false
+		}
+		n := i + 1
+		if m := 2 * len(t.dense); m > n {
+			n = m
+		}
+		if n < 256 {
+			n = 256
+		}
+		if n > maxDense {
+			n = maxDense
+		}
+		for len(t.dense) < n {
+			t.dense = append(t.dense, noEntry)
+		}
+	}
+	return i, true
 }
 
 // Lookup returns the OSD currently holding the object, given its home
 // (hash-placed) OSD.
 func (t *Table) Lookup(id object.ID, home int) int {
-	if osd, ok := t.entries[id]; ok {
-		return osd
+	if i, ok := t.denseIdx(id, false); ok {
+		if osd := t.dense[i]; osd != noEntry {
+			return int(osd)
+		}
+		return home
+	}
+	if osd, ok := t.overflow[id]; ok {
+		return int(osd)
 	}
 	return home
 }
@@ -42,7 +103,10 @@ func (t *Table) Lookup(id object.ID, home int) int {
 // away from home. EDM's selection policies prefer such objects because
 // re-moving them does not grow the table.
 func (t *Table) Contains(id object.ID) bool {
-	_, ok := t.entries[id]
+	if i, ok := t.denseIdx(id, false); ok {
+		return t.dense[i] != noEntry
+	}
+	_, ok := t.overflow[id]
 	return ok
 }
 
@@ -52,25 +116,57 @@ func (t *Table) Contains(id object.ID) bool {
 func (t *Table) Record(id object.ID, home, dst int) {
 	t.moves++
 	if dst == home {
-		if _, ok := t.entries[id]; ok {
-			delete(t.entries, id)
+		if t.remove(id) {
 			t.removals++
 		}
 		return
 	}
-	if _, ok := t.entries[id]; ok {
-		t.updates++
-	} else {
+	if t.set(id, int32(dst)) {
 		t.inserts++
+	} else {
+		t.updates++
 	}
-	t.entries[id] = dst
-	if len(t.entries) > t.peakEntries {
-		t.peakEntries = len(t.entries)
+	if t.entries > t.peakEntries {
+		t.peakEntries = t.entries
 	}
 }
 
+// set stores id→dst, reporting whether a new entry was created.
+func (t *Table) set(id object.ID, dst int32) (created bool) {
+	if i, ok := t.denseIdx(id, true); ok {
+		created = t.dense[i] == noEntry
+		t.dense[i] = dst
+	} else {
+		_, had := t.overflow[id]
+		created = !had
+		t.overflow[id] = dst
+	}
+	if created {
+		t.entries++
+	}
+	return created
+}
+
+// remove drops id's entry, reporting whether one existed.
+func (t *Table) remove(id object.ID) bool {
+	if i, ok := t.denseIdx(id, false); ok {
+		if t.dense[i] == noEntry {
+			return false
+		}
+		t.dense[i] = noEntry
+		t.entries--
+		return true
+	}
+	if _, ok := t.overflow[id]; ok {
+		delete(t.overflow, id)
+		t.entries--
+		return true
+	}
+	return false
+}
+
 // Len returns the current number of entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.entries }
 
 // Stats describes table growth.
 type Stats struct {
@@ -89,7 +185,7 @@ func (t *Table) Stats() Stats {
 		Inserts:     t.inserts,
 		Updates:     t.updates,
 		Removals:    t.removals,
-		Entries:     len(t.entries),
+		Entries:     t.entries,
 		PeakEntries: t.peakEntries,
 	}
 }
@@ -97,18 +193,25 @@ func (t *Table) Stats() Stats {
 // Entries returns the remapped object ids in ascending order (tests and
 // selection policies needing deterministic iteration).
 func (t *Table) Entries() []object.ID {
-	ids := make([]object.ID, 0, len(t.entries))
-	for id := range t.entries {
+	ids := make([]object.ID, 0, t.entries)
+	for i, osd := range t.dense {
+		if osd != noEntry {
+			ids = append(ids, object.ID(i))
+		}
+	}
+	for id := range t.overflow {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
-// MemoryBytes estimates the table's resident size: one 8-byte id plus a
-// 4-byte OSD index per entry plus map overhead (~1.5x), the quantity
-// Fig. 8 is a proxy for.
+// MemoryBytes estimates the table's resident size as the paper's §III.C
+// accounting does: one 8-byte id plus a 4-byte OSD index per entry plus
+// hash-structure overhead (~1.5x), the quantity Fig. 8 is a proxy for.
+// The estimate is a model of the scheme being measured, not of this
+// process's RSS, so it is unchanged by the dense layout.
 func (t *Table) MemoryBytes() int64 {
 	const perEntry = 12
-	return int64(float64(len(t.entries)*perEntry) * 1.5)
+	return int64(float64(t.entries*perEntry) * 1.5)
 }

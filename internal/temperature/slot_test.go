@@ -1,0 +1,125 @@
+package temperature
+
+import (
+	"math"
+	"testing"
+
+	"edm/internal/sim"
+)
+
+// ulpApart reports whether a and b are equal to within one unit in the
+// last place.
+func ulpApart(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Nextafter(a, b) == b
+}
+
+// TestLazyDecayMatchesEager pins the lazy-advance equivalence: a
+// tracker queried only once after a long idle gap must report the same
+// temperatures (within 1 ulp) as one whose entry was brought forward at
+// every interval boundary. The lazy path folds the whole gap with a
+// single Ldexp scale, which is exact halving — so the two histories
+// cannot drift.
+func TestLazyDecayMatchesEager(t *testing.T) {
+	lazy := New(iv)
+	eager := New(iv)
+	touches := []struct {
+		at    sim.Time
+		w, r  int
+		write bool
+	}{
+		{at: 0, w: 10, write: true},
+		{at: 3*iv + iv/2, w: 7, write: true},
+		{at: 3*iv + iv/2, r: 5},
+		{at: 19 * iv, w: 2, write: true},
+		{at: 40*iv + 1, r: 3},
+	}
+	ti := 0
+	for k := sim.Time(0); k <= 55*iv; k += iv / 2 {
+		for ti < len(touches) && touches[ti].at <= k {
+			tc := touches[ti]
+			if tc.write {
+				lazy.RecordWrite(1, tc.w, tc.at)
+				eager.RecordWrite(1, tc.w, tc.at)
+			} else {
+				lazy.RecordRead(1, tc.r, tc.at)
+				eager.RecordRead(1, tc.r, tc.at)
+			}
+			ti++
+		}
+		// Only the eager tracker is advanced at every half-interval;
+		// the lazy one decays in one shot at the final query.
+		eager.Query(1, k)
+	}
+	at := 55 * iv
+	l, e := lazy.Query(1, at), eager.Query(1, at)
+	if !ulpApart(l.WriteTemp, e.WriteTemp) {
+		t.Errorf("lazy WriteTemp %v, eager %v: more than 1 ulp apart", l.WriteTemp, e.WriteTemp)
+	}
+	if !ulpApart(l.TotalTemp, e.TotalTemp) {
+		t.Errorf("lazy TotalTemp %v, eager %v: more than 1 ulp apart", l.TotalTemp, e.TotalTemp)
+	}
+	if l.CumWrites != e.CumWrites || l.CumReads != e.CumReads || l.WinWrites != e.WinWrites {
+		t.Errorf("cumulative counters diverged: lazy %+v, eager %+v", l, e)
+	}
+}
+
+// TestTouchZeroAlloc pins the hot path's allocation behaviour: once
+// slots are installed, steady-state TouchWrite/TouchRead — including
+// epoch advances — must not allocate. The CI bench matrix runs this
+// alongside the -benchmem gate.
+func TestTouchZeroAlloc(t *testing.T) {
+	tr := New(iv)
+	const slots = 128
+	for i := 0; i < slots; i++ {
+		tr.InstallAt(Slot(i), ObjectID(i))
+	}
+	now := sim.Time(0)
+	n := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		now += iv / 3 // crosses an interval boundary every third touch
+		s := Slot(n % slots)
+		tr.TouchWrite(s, 2, now)
+		tr.TouchRead(s, 1, now)
+		n++
+	})
+	if allocs != 0 {
+		t.Fatalf("TouchWrite/TouchRead allocated %v times per run; want 0", allocs)
+	}
+}
+
+// TestInstallAtReplacesOccupantAndStaleBinding covers slot recycling:
+// rebinding a slot drops its previous occupant, and installing an id
+// that already lives at another slot invalidates the stale row.
+func TestInstallAtReplacesOccupantAndStaleBinding(t *testing.T) {
+	tr := New(iv)
+	tr.InstallAt(0, 100)
+	tr.TouchWrite(0, 8, 0)
+	// Rebind slot 0 to a new object: 100 is gone, counters reset.
+	tr.InstallAt(0, 200)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after rebind, want 1", tr.Len())
+	}
+	if s := tr.Query(100, iv); s.WriteTemp != 0 || s.CumWrites != 0 {
+		t.Fatalf("evicted object still has history: %+v", s)
+	}
+	if !tr.BoundTo(0, 200) {
+		t.Fatal("slot 0 not bound to 200 after rebind")
+	}
+	if s := tr.QueryAt(0, iv); s.WriteTemp != 0 {
+		t.Fatalf("recycled slot kept old counters: %+v", s)
+	}
+	// Move 200 to slot 5: the old binding must not resolve anymore.
+	tr.InstallAt(5, 200)
+	if tr.BoundTo(0, 200) {
+		t.Fatal("stale binding at slot 0 survived re-install at slot 5")
+	}
+	if !tr.BoundTo(5, 200) {
+		t.Fatal("slot 5 not bound to 200")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after re-install, want 1", tr.Len())
+	}
+}

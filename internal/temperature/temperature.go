@@ -19,6 +19,12 @@
 // Entries decay lazily: an object's counters are only brought forward to
 // the current interval when the object is touched or queried, so idle
 // objects cost nothing per tick.
+//
+// Storage is struct-of-arrays: each per-object counter lives in its own
+// slice, indexed by a Slot handle assigned by the caller (the cluster
+// aligns Slot with object.Index so the replay hot path touches a handful
+// of cache lines and allocates nothing). The ID-keyed API remains as a
+// map-backed shim for cold paths and tests.
 package temperature
 
 import (
@@ -36,22 +42,31 @@ const DefaultInterval = sim.Minute
 // the package (temperature is a leaf dependency).
 type ObjectID int64
 
-type entry struct {
-	epoch     int64   // interval index the temperatures are valid for
-	writeTemp float64 // decayed write temperature at start of epoch
-	totalTemp float64 // decayed read+write temperature at start of epoch
-	writeAcc  float64 // write pages accumulated within current epoch
-	totalAcc  float64 // total pages accumulated within current epoch
-	winWrites float64 // write pages since the last window reset (ΔW_c accounting)
-	cumWrites float64 // write pages since creation
-	cumReads  float64 // read pages since creation
-}
+// Slot is a dense row handle into the tracker's tables. Slots are
+// assigned by InstallAt (or minted internally by the ID-keyed shims) and
+// freed by ForgetAt/ExportAt.
+type Slot int32
 
 // Tracker records accesses for one OSD's objects. Objects migrate
 // between trackers via Export/Import so their history follows them.
+// Per-object state is held in parallel slices indexed by Slot.
 type Tracker struct {
 	interval sim.Time
-	objs     map[ObjectID]*entry
+
+	ids   []ObjectID
+	used  []bool
+	epoch []int64 // interval index the temperatures are valid for
+
+	wTemp []float64 // decayed write temperature at start of epoch
+	tTemp []float64 // decayed read+write temperature at start of epoch
+	wAcc  []float64 // write pages accumulated within current epoch
+	tAcc  []float64 // total pages accumulated within current epoch
+	winW  []float64 // write pages since the last window reset (ΔW_c accounting)
+	cumW  []float64 // write pages since creation
+	cumR  []float64 // read pages since creation
+
+	slots map[ObjectID]Slot // ID-keyed shim index
+	live  int
 }
 
 // New returns a tracker with the given decay interval.
@@ -59,67 +74,140 @@ func New(interval sim.Time) *Tracker {
 	if interval <= 0 {
 		panic(fmt.Sprintf("temperature: non-positive interval %v", interval))
 	}
-	return &Tracker{interval: interval, objs: make(map[ObjectID]*entry)}
+	return &Tracker{interval: interval, slots: make(map[ObjectID]Slot)}
 }
 
 // Interval returns the decay interval.
 func (t *Tracker) Interval() sim.Time { return t.interval }
 
 // Len returns the number of tracked objects.
-func (t *Tracker) Len() int { return len(t.objs) }
+func (t *Tracker) Len() int { return t.live }
 
 func (t *Tracker) epochOf(now sim.Time) int64 { return int64(now / t.interval) }
 
-func (t *Tracker) get(id ObjectID) *entry {
-	e := t.objs[id]
-	if e == nil {
-		e = &entry{}
-		t.objs[id] = e
+// grow ensures the tables cover slot s.
+func (t *Tracker) grow(s Slot) {
+	for len(t.ids) <= int(s) {
+		t.ids = append(t.ids, 0)
+		t.used = append(t.used, false)
+		t.epoch = append(t.epoch, 0)
+		t.wTemp = append(t.wTemp, 0)
+		t.tTemp = append(t.tTemp, 0)
+		t.wAcc = append(t.wAcc, 0)
+		t.tAcc = append(t.tAcc, 0)
+		t.winW = append(t.winW, 0)
+		t.cumW = append(t.cumW, 0)
+		t.cumR = append(t.cumR, 0)
 	}
-	return e
+}
+
+// clearRow zeroes slot s's counters.
+func (t *Tracker) clearRow(s Slot) {
+	t.epoch[s] = 0
+	t.wTemp[s] = 0
+	t.tTemp[s] = 0
+	t.wAcc[s] = 0
+	t.tAcc[s] = 0
+	t.winW[s] = 0
+	t.cumW[s] = 0
+	t.cumR[s] = 0
+}
+
+// InstallAt binds slot s to object id with fresh (zero) counters. Any
+// previous occupant of the slot — or a stale binding of id elsewhere —
+// is dropped first, so the call is safe on recycled handles.
+func (t *Tracker) InstallAt(s Slot, id ObjectID) {
+	t.grow(s)
+	if t.used[s] {
+		delete(t.slots, t.ids[s])
+		t.live--
+	}
+	if old, ok := t.slots[id]; ok && old != s {
+		t.used[old] = false
+		t.live--
+	}
+	t.clearRow(s)
+	t.ids[s] = id
+	t.used[s] = true
+	t.slots[id] = s
+	t.live++
 }
 
 // advance folds accumulated accesses into the temperatures and decays
 // them up to the given epoch.
-func (e *entry) advance(epoch int64) {
-	if epoch <= e.epoch {
+func (t *Tracker) advance(s Slot, epoch int64) {
+	if epoch <= t.epoch[s] {
 		return
 	}
-	gap := epoch - e.epoch
+	gap := epoch - t.epoch[s]
 	// First boundary crossing folds the current interval's accesses.
-	e.writeTemp = e.writeTemp/2 + e.writeAcc
-	e.totalTemp = e.totalTemp/2 + e.totalAcc
-	e.writeAcc, e.totalAcc = 0, 0
+	t.wTemp[s] = t.wTemp[s]/2 + t.wAcc[s]
+	t.tTemp[s] = t.tTemp[s]/2 + t.tAcc[s]
+	t.wAcc[s], t.tAcc[s] = 0, 0
 	// Remaining boundary crossings observe no accesses.
 	if rest := gap - 1; rest > 0 {
 		if rest >= 64 {
-			e.writeTemp, e.totalTemp = 0, 0
+			t.wTemp[s], t.tTemp[s] = 0, 0
 		} else {
 			scale := math.Ldexp(1, -int(rest))
-			e.writeTemp *= scale
-			e.totalTemp *= scale
+			t.wTemp[s] *= scale
+			t.tTemp[s] *= scale
 		}
 	}
-	e.epoch = epoch
+	t.epoch[s] = epoch
+}
+
+// TouchWrite notes a write touching pages pages at virtual time now, by
+// slot. This is the replay hot path; it allocates nothing.
+func (t *Tracker) TouchWrite(s Slot, pages int, now sim.Time) {
+	t.advance(s, t.epochOf(now))
+	p := float64(pages)
+	t.wAcc[s] += p
+	t.tAcc[s] += p
+	t.winW[s] += p
+	t.cumW[s] += p
+}
+
+// TouchRead notes a read touching pages pages at virtual time now, by
+// slot. Zero-alloc like TouchWrite.
+func (t *Tracker) TouchRead(s Slot, pages int, now sim.Time) {
+	t.advance(s, t.epochOf(now))
+	p := float64(pages)
+	t.tAcc[s] += p
+	t.cumR[s] += p
+}
+
+// BoundTo reports whether slot s currently holds object id (callers
+// holding a slot from a parallel table can verify it before the *At
+// fast paths, falling back to the ID-keyed API otherwise).
+func (t *Tracker) BoundTo(s Slot, id ObjectID) bool {
+	return int(s) < len(t.ids) && t.used[s] && t.ids[s] == id
+}
+
+// slotFor returns id's slot, minting a fresh table row when the object
+// is unknown (ID-keyed shim path only; the cluster always installs
+// slots explicitly).
+func (t *Tracker) slotFor(id ObjectID) Slot {
+	if s, ok := t.slots[id]; ok {
+		return s
+	}
+	s := Slot(len(t.ids))
+	t.grow(s)
+	t.ids[s] = id
+	t.used[s] = true
+	t.slots[id] = s
+	t.live++
+	return s
 }
 
 // RecordWrite notes a write touching pages pages at virtual time now.
 func (t *Tracker) RecordWrite(id ObjectID, pages int, now sim.Time) {
-	e := t.get(id)
-	e.advance(t.epochOf(now))
-	p := float64(pages)
-	e.writeAcc += p
-	e.totalAcc += p
-	e.winWrites += p
-	e.cumWrites += p
+	t.TouchWrite(t.slotFor(id), pages, now)
 }
 
 // RecordRead notes a read touching pages pages at virtual time now.
 func (t *Tracker) RecordRead(id ObjectID, pages int, now sim.Time) {
-	e := t.get(id)
-	e.advance(t.epochOf(now))
-	e.totalAcc += float64(pages)
-	e.cumReads += float64(pages)
+	t.TouchRead(t.slotFor(id), pages, now)
 }
 
 // Snapshot is an object's temperature state at a query instant.
@@ -132,32 +220,39 @@ type Snapshot struct {
 	CumReads  float64
 }
 
-// Query returns the object's snapshot as of now. The in-progress
+// QueryAt returns slot s's snapshot as of now. The in-progress
 // interval's accesses contribute at full weight (they are the freshest
-// signal available at selection time). Unknown objects return a zero
-// snapshot.
+// signal available at selection time).
+func (t *Tracker) QueryAt(s Slot, now sim.Time) Snapshot {
+	t.advance(s, t.epochOf(now))
+	return Snapshot{
+		ID:        t.ids[s],
+		WriteTemp: t.wTemp[s] + t.wAcc[s],
+		TotalTemp: t.tTemp[s] + t.tAcc[s],
+		WinWrites: t.winW[s],
+		CumWrites: t.cumW[s],
+		CumReads:  t.cumR[s],
+	}
+}
+
+// Query returns the object's snapshot as of now. Unknown objects return
+// a zero snapshot without being created.
 func (t *Tracker) Query(id ObjectID, now sim.Time) Snapshot {
-	e := t.objs[id]
-	if e == nil {
+	s, ok := t.slots[id]
+	if !ok {
 		return Snapshot{ID: id}
 	}
-	e.advance(t.epochOf(now))
-	return Snapshot{
-		ID:        id,
-		WriteTemp: e.writeTemp + e.writeAcc,
-		TotalTemp: e.totalTemp + e.totalAcc,
-		WinWrites: e.winWrites,
-		CumWrites: e.cumWrites,
-		CumReads:  e.cumReads,
-	}
+	return t.QueryAt(s, now)
 }
 
 // All returns snapshots for every tracked object as of now, in
 // unspecified order.
 func (t *Tracker) All(now sim.Time) []Snapshot {
-	out := make([]Snapshot, 0, len(t.objs))
-	for id := range t.objs {
-		out = append(out, t.Query(id, now))
+	out := make([]Snapshot, 0, t.live)
+	for s := range t.ids {
+		if t.used[s] {
+			out = append(out, t.QueryAt(Slot(s), now))
+		}
 	}
 	return out
 }
@@ -165,47 +260,78 @@ func (t *Tracker) All(now sim.Time) []Snapshot {
 // ResetWindow zeroes every object's window write counter, starting a new
 // ΔW_c accounting window (called when a migration round completes).
 func (t *Tracker) ResetWindow() {
-	for _, e := range t.objs {
-		e.winWrites = 0
+	for s := range t.winW {
+		t.winW[s] = 0
 	}
 }
 
+// ForgetAt drops the object at slot s (deleted without migration). The
+// slot may be rebound later with InstallAt.
+func (t *Tracker) ForgetAt(s Slot) {
+	if int(s) >= len(t.ids) || !t.used[s] {
+		return
+	}
+	delete(t.slots, t.ids[s])
+	t.used[s] = false
+	t.live--
+}
+
 // Forget drops an object (deleted from this OSD without migration).
-func (t *Tracker) Forget(id ObjectID) { delete(t.objs, id) }
+func (t *Tracker) Forget(id ObjectID) {
+	if s, ok := t.slots[id]; ok {
+		t.ForgetAt(s)
+	}
+}
+
+// ExportAt removes slot s's state for transfer to another tracker,
+// reporting whether the slot held an object.
+func (t *Tracker) ExportAt(s Slot, now sim.Time) (Snapshot, bool) {
+	if int(s) >= len(t.ids) || !t.used[s] {
+		return Snapshot{}, false
+	}
+	t.advance(s, t.epochOf(now))
+	snap := Snapshot{
+		ID:        t.ids[s],
+		WriteTemp: t.wTemp[s],
+		TotalTemp: t.tTemp[s],
+		WinWrites: t.winW[s],
+		CumWrites: t.cumW[s],
+		CumReads:  t.cumR[s],
+	}
+	// Carry the unfolded in-interval accesses along in the temps so no
+	// history is lost across a move.
+	snap.WriteTemp += t.wAcc[s]
+	snap.TotalTemp += t.tAcc[s]
+	t.ForgetAt(s)
+	return snap, true
+}
 
 // Export removes the object's state for transfer to another tracker,
 // reporting whether the object was known.
 func (t *Tracker) Export(id ObjectID, now sim.Time) (Snapshot, bool) {
-	e := t.objs[id]
-	if e == nil {
+	s, ok := t.slots[id]
+	if !ok {
 		return Snapshot{ID: id}, false
 	}
-	e.advance(t.epochOf(now))
-	snap := Snapshot{
-		ID:        id,
-		WriteTemp: e.writeTemp,
-		TotalTemp: e.totalTemp,
-		WinWrites: e.winWrites,
-		CumWrites: e.cumWrites,
-		CumReads:  e.cumReads,
-	}
-	// Carry the unfolded in-interval accesses along in the temps so no
-	// history is lost across a move.
-	snap.WriteTemp += e.writeAcc
-	snap.TotalTemp += e.totalAcc
-	delete(t.objs, id)
-	return snap, true
+	return t.ExportAt(s, now)
+}
+
+// ImportAt installs a snapshot exported from another tracker at slot s.
+func (t *Tracker) ImportAt(s Slot, snap Snapshot, now sim.Time) {
+	t.InstallAt(s, snap.ID)
+	t.epoch[s] = t.epochOf(now)
+	t.wTemp[s] = snap.WriteTemp
+	t.tTemp[s] = snap.TotalTemp
+	t.winW[s] = snap.WinWrites
+	t.cumW[s] = snap.CumWrites
+	t.cumR[s] = snap.CumReads
 }
 
 // Import installs a snapshot exported from another tracker.
 func (t *Tracker) Import(snap Snapshot, now sim.Time) {
-	e := &entry{
-		epoch:     t.epochOf(now),
-		writeTemp: snap.WriteTemp,
-		totalTemp: snap.TotalTemp,
-		winWrites: snap.WinWrites,
-		cumWrites: snap.CumWrites,
-		cumReads:  snap.CumReads,
+	s, ok := t.slots[snap.ID]
+	if !ok {
+		s = t.slotFor(snap.ID)
 	}
-	t.objs[snap.ID] = e
+	t.ImportAt(s, snap, now)
 }
