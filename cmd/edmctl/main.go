@@ -28,6 +28,7 @@ import (
 
 	"edm/internal/dispatch"
 	"edm/internal/experiment"
+	"edm/internal/server"
 )
 
 func main() {
@@ -77,6 +78,7 @@ func sweep(args []string) {
 		probe       = fs.Duration("probe-interval", 500*time.Millisecond, "unhealthy-worker reprobe cadence")
 		poll        = fs.Duration("poll", 100*time.Millisecond, "job status poll cadence")
 		noLocal     = fs.Bool("no-local-fallback", false, "fail cells instead of running them locally when the fleet is down")
+		ckEvery     = fs.Uint64("checkpoint-every", 0, "checkpoint cadence in fired events; >0 stashes frames so a dead worker's cell resumes instead of restarting (0 disables)")
 		quiet       = fs.Bool("quiet", false, "suppress the dispatch summary and progress lines on stderr")
 	)
 	_ = fs.Parse(args)
@@ -117,14 +119,15 @@ func sweep(args []string) {
 		logf = nil
 	}
 	pool := dispatch.New(dispatch.Config{
-		Workers:       parseWorkers(*workersFlag),
-		Client:        dispatch.ClientConfig{PollInterval: *poll},
-		Slots:         *slots,
-		MaxLaunches:   *maxLaunches,
-		HedgeAfter:    *hedgeAfter,
-		ProbeInterval: *probe,
-		DisableLocal:  *noLocal,
-		Logf:          logf,
+		Workers:         parseWorkers(*workersFlag),
+		Client:          dispatch.ClientConfig{PollInterval: *poll},
+		Slots:           *slots,
+		MaxLaunches:     *maxLaunches,
+		HedgeAfter:      *hedgeAfter,
+		ProbeInterval:   *probe,
+		DisableLocal:    *noLocal,
+		CheckpointEvery: *ckEvery,
+		Logf:            logf,
 	})
 
 	start := time.Now()
@@ -185,7 +188,7 @@ func status(args []string) {
 			defer wg.Done()
 			cctx, cancel := context.WithTimeout(ctx, *timeout)
 			defer cancel()
-			client := dispatch.NewClient(dispatch.ClientConfig{BaseURL: url, MaxRetries: 1})
+			client := server.NewClient(url, nil)
 			h, err := client.Health(cctx)
 			if err != nil {
 				reports[i] = report{url: url, line: fmt.Sprintf("%s  DOWN  %v", url, err)}

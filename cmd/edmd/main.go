@@ -36,6 +36,10 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second,
 		"how long shutdown waits for in-flight jobs before force-cancelling them")
+	stateDir := flag.String("state-dir", "",
+		"directory for crash-recovery state; jobs interrupted by a restart are re-admitted and resumed from their newest checkpoint (empty: no persistence)")
+	checkpointEvery := flag.Uint64("checkpoint-every", 0,
+		"default checkpoint cadence in fired simulation events for jobs that do not set their own (0: server default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "edmd: unexpected argument %q\n", flag.Arg(0))
@@ -44,10 +48,15 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		JobTimeout:      *jobTimeout,
+		StateDir:        *stateDir,
+		CheckpointEvery: *checkpointEvery,
 	})
+	if n := srv.Recovered(); n > 0 {
+		log.Printf("edmd: recovered %d interrupted job(s) from %s", n, *stateDir)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)

@@ -43,9 +43,13 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock cap on the run (0 = none); Ctrl-C also cancels")
 		selfCheck = flag.Bool("check", false, "run with invariant checking: event-stream checker + end-of-run state audit; non-zero exit on any violation")
 		chaosPlan = flag.String("chaos", "", "inject faults from a chaos plan JSON file (see internal/chaos); non-zero exit on a fault-aware invariant violation")
-		series    = flag.Bool("series", false, "print the response-time series (Fig. 7 view)")
-		perOSD    = flag.Bool("per-osd", false, "print per-OSD erase counts, write pages and utilizations")
-		jsonOut   = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
+
+		checkpointFile  = flag.String("checkpoint", "", "append digest-sealed snapshot frames to this file during the run (continue a killed run with -resume)")
+		checkpointEvery = flag.Uint64("checkpoint-every", 0, "checkpoint cadence in fired simulation events (0: the built-in default)")
+		resumeFile      = flag.String("resume", "", "resume from the newest complete frame in this checkpoint file; the frame's embedded spec replaces the workload flags")
+		series          = flag.Bool("series", false, "print the response-time series (Fig. 7 view)")
+		perOSD          = flag.Bool("per-osd", false, "print per-OSD erase counts, write pages and utilizations")
+		jsonOut         = flag.Bool("json", false, "emit the full result as JSON (for scripting)")
 
 		telemetryDir    = flag.String("telemetry-dir", "", "write events.ndjson, snapshots.csv and trace.json (chrome://tracing) here")
 		telemetryEvents = flag.String("telemetry-events", "all", "event classes to record: "+strings.Join(telemetry.ClassNames(), ","))
@@ -131,22 +135,20 @@ func main() {
 		spec.Trace = tr
 	}
 
-	// -check wraps whatever recorder is configured (possibly none) with
-	// the invariant checker and turns on the cluster's state self-check,
-	// then audits the finished run.
-	var ck *check.Checker
-	if *selfCheck {
-		ck = check.Wrap(spec.Cluster.Recorder)
-		spec.Cluster.Recorder = ck
-		spec.Cluster.SelfCheck = true
-	}
-
 	// -chaos decorates the recorder chain with the fault injector
 	// (outermost, so it sees migration rounds before the checker does)
-	// and schedules the plan's timed faults on the built cluster.
+	// and schedules the plan's timed faults on the built cluster. The
+	// injector is process-local and armed on a hand-built cluster, so
+	// the chaos path cannot combine with -checkpoint/-resume — the
+	// injector cannot be rebuilt from a frame (internal/chaos's
+	// snapshot round-trip test resumes scenarios by rebuilding the
+	// whole env instead).
 	var inj *chaos.Injector
 	var plan chaos.Plan
 	if *chaosPlan != "" {
+		if *checkpointFile != "" || *resumeFile != "" {
+			fatalf("-chaos cannot combine with -checkpoint/-resume")
+		}
 		data, err := os.ReadFile(*chaosPlan)
 		if err != nil {
 			fatalf("%v", err)
@@ -157,12 +159,56 @@ func main() {
 		if err := plan.Validate(*osds); err != nil {
 			fatalf("%v", err)
 		}
-		inj = chaos.NewInjector(spec.Cluster.Recorder, plan)
-		spec.Cluster.Recorder = inj
+	}
+
+	// Checkpoint frames append to one file: a torn final frame after a
+	// SIGKILL costs at most the newest checkpoint on resume.
+	var runOpts []edm.RunOption
+	if *checkpointFile != "" {
+		w, err := os.OpenFile(*checkpointFile, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer w.Close()
+		runOpts = append(runOpts, edm.WithCheckpoint(w, *checkpointEvery))
+	}
+	if *selfCheck {
+		runOpts = append(runOpts, edm.WithCheck())
 	}
 
 	var res *edm.Result
-	if ck != nil || inj != nil {
+	switch {
+	case *resumeFile != "":
+		// The frame's embedded spec rebuilds the run; re-attach the
+		// process-local telemetry sinks so the regenerated event log and
+		// metric columns cover the whole run, not just the tail.
+		if *traceFile != "" {
+			fatalf("-resume replays the checkpoint's embedded spec; drop -trace")
+		}
+		if sink != nil {
+			runOpts = append(runOpts, edm.WithTelemetry(sink.Tracer), edm.WithMetrics(sink.Registry))
+		}
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		res, err = edm.Resume(ctx, f, runOpts...)
+		f.Close()
+		if err != nil {
+			fatalf("%v", err)
+		}
+	case *chaosPlan != "":
+		// Hand-built cluster: the injector (and, with -check, the
+		// checker) wrap the recorder before construction, and the plan's
+		// timed faults arm on the built cluster.
+		var ck *check.Checker
+		if *selfCheck {
+			ck = check.Wrap(spec.Cluster.Recorder)
+			spec.Cluster.Recorder = ck
+			spec.Cluster.SelfCheck = true
+		}
+		inj = chaos.NewInjector(spec.Cluster.Recorder, plan)
+		spec.Cluster.Recorder = inj
 		cl, err := edm.NewCluster(spec)
 		if err != nil {
 			fatalf("%v", err)
@@ -170,9 +216,7 @@ func main() {
 		if ck != nil {
 			check.Bind(ck, cl)
 		}
-		if inj != nil {
-			inj.Arm(cl, plan)
-		}
+		inj.Arm(cl, plan)
 		if res, err = cl.RunContext(ctx); err != nil {
 			fatalf("%v", err)
 		}
@@ -183,16 +227,14 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "check: %s\n", rep)
 		}
-		if inj != nil {
-			if v := inj.Violations(res); len(v) > 0 {
-				fatalf("chaos: %s", strings.Join(v, "; "))
-			}
-			fmt.Fprintf(os.Stderr, "chaos: %d fault window(s); %d degraded, %d lost ops\n",
-				inj.Windows(), res.DegradedOps, res.LostOps)
+		if v := inj.Violations(res); len(v) > 0 {
+			fatalf("chaos: %s", strings.Join(v, "; "))
 		}
-	} else {
+		fmt.Fprintf(os.Stderr, "chaos: %d fault window(s); %d degraded, %d lost ops\n",
+			inj.Windows(), res.DegradedOps, res.LostOps)
+	default:
 		var err error
-		if res, err = edm.RunContext(ctx, spec); err != nil {
+		if res, err = edm.Run(ctx, spec, runOpts...); err != nil {
 			fatalf("%v", err)
 		}
 	}

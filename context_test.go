@@ -25,7 +25,7 @@ func slowSpec() Spec {
 // byte-identical (as JSON) to Run on the same spec and seed — the
 // cancellation plumbing may not perturb the simulation.
 func TestRunContextMatchesRun(t *testing.T) {
-	direct, err := Run(quickSpec(PolicyHDF))
+	direct, err := Run(context.Background(), quickSpec(PolicyHDF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +143,11 @@ func TestRunContextNoGoroutineLeaks(t *testing.T) {
 // TestSentinelErrors is the table-driven errors.Is coverage for the
 // library's sentinels across the layers that raise them.
 func TestSentinelErrors(t *testing.T) {
-	_, errWorkloadRun := Run(Spec{Workload: "nope"})
+	_, errWorkloadRun := Run(context.Background(), Spec{Workload: "nope"})
 	_, errWorkloadTrace := BuildTrace(Spec{Workload: "nope"})
-	_, errConfig := Run(Spec{Workload: "home02", Scale: 400, OSDs: -1,
+	_, errConfig := Run(context.Background(), Spec{Workload: "home02", Scale: 400, OSDs: -1,
 		Cluster: cluster.Config{OSDs: -1}})
-	_, errOK := Run(quickSpec(PolicyBaseline))
+	_, errOK := Run(context.Background(), quickSpec(PolicyBaseline))
 
 	cases := []struct {
 		name   string

@@ -19,16 +19,18 @@
 // Quick start:
 //
 //	spec := edm.Spec{Workload: "home02", OSDs: 16, Policy: edm.PolicyHDF, Scale: 50, Seed: 1}
-//	res, err := edm.Run(spec)
+//	res, err := edm.Run(context.Background(), spec)
 //	// res.ThroughputOps, res.AggregateErases, res.MovedObjects, ...
 //
-// Runs are cancellable: RunContext threads a context.Context through the
-// whole stack down to the discrete-event engine, which polls it every
-// few thousand events — the entry point cmd/edmd serves jobs through.
+// Runs are cancellable — the context threads through the whole stack
+// down to the discrete-event engine, which polls it every few thousand
+// events — and options attach process-local concerns: WithCheckpoint
+// writes digest-sealed snapshots a later Resume continues from with
+// byte-identical output, WithTelemetry attaches an event recorder, and
+// WithCheck runs the full invariant-checking harness.
 package edm
 
 import (
-	"context"
 	"fmt"
 
 	"edm/internal/cluster"
@@ -95,19 +97,15 @@ type Spec struct {
 	// including an explicit &MigrateNever.
 	MigrationMode *cluster.MigrationMode
 
-	// Migration overrides the controller mode.
-	//
-	// Deprecated: use MigrationMode, whose nil state distinguishes "not
-	// set" from an intentional MigrateNever without a side flag. The
-	// pair is honoured only when MigrationMode is nil.
-	Migration cluster.MigrationMode
-	// MigrationSet reports Migration was set explicitly.
-	//
-	// Deprecated: see Migration.
-	MigrationSet bool
-
 	// Lambda is the trigger threshold λ; zero takes the default (0.1).
 	Lambda float64
+
+	// CheckpointEvery is the checkpoint cadence in fired simulation
+	// events, used when the run is given a checkpoint writer
+	// (WithCheckpoint) without an explicit cadence. Zero defers to
+	// Cluster.CheckpointEvery, then DefaultCheckpointEvery. Ignored
+	// entirely when no checkpoint writer is attached.
+	CheckpointEvery uint64
 
 	// Seed drives workload generation and warm-up churn.
 	Seed uint64
@@ -187,9 +185,6 @@ func (spec Spec) migrationMode() cluster.MigrationMode {
 	if spec.MigrationMode != nil {
 		return *spec.MigrationMode
 	}
-	if spec.MigrationSet || spec.Migration != cluster.MigrateNever {
-		return spec.Migration
-	}
 	if spec.Policy == PolicyBaseline {
 		return cluster.MigrateNever
 	}
@@ -213,38 +208,6 @@ func (spec Spec) planner() migration.Planner {
 		return migration.NewCDF(mcfg)
 	}
 	return nil
-}
-
-// Run executes the spec end to end and returns the result.
-func Run(spec Spec) (*Result, error) {
-	return RunContext(context.Background(), spec)
-}
-
-// RunContext executes the spec end to end under ctx. Cancellation is
-// observed by the discrete-event engine within sim.CancelCheckInterval
-// events; the returned error then wraps ctx.Err(). A run that completes
-// is byte-identical to Run on the same spec and seed — the context
-// plumbing never touches the simulation state.
-func RunContext(ctx context.Context, spec Spec) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	tr, err := BuildTrace(spec)
-	if err != nil {
-		return nil, err
-	}
-	// Trace generation and cluster construction (with its warm-up fill)
-	// are not interruptible internally, so bound the post-cancellation
-	// work by re-checking at each phase boundary.
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	spec.Trace = tr
-	cl, err := NewCluster(spec)
-	if err != nil {
-		return nil, err
-	}
-	return cl.RunContext(ctx)
 }
 
 // Minute re-exports the virtual-time constant most examples need.

@@ -1,6 +1,7 @@
 package edm
 
 import (
+	"context"
 	"testing"
 
 	"edm/internal/cluster"
@@ -38,7 +39,7 @@ func TestPolicyStrings(t *testing.T) {
 
 func TestRunAllPolicies(t *testing.T) {
 	for _, p := range AllPolicies() {
-		res, err := Run(quickSpec(p))
+		res, err := Run(context.Background(), quickSpec(p))
 		if err != nil {
 			t.Fatalf("%v: %v", p, err)
 		}
@@ -90,11 +91,13 @@ func TestMigrationModeDefaults(t *testing.T) {
 	if m := (Spec{Policy: PolicyHDF}).migrationMode(); m != cluster.MigrateMidpoint {
 		t.Fatalf("HDF default mode %v", m)
 	}
-	s := Spec{Policy: PolicyHDF, Migration: cluster.MigrateNever, MigrationSet: true}
+	never := cluster.MigrateNever
+	s := Spec{Policy: PolicyHDF, MigrationMode: &never}
 	if m := s.migrationMode(); m != cluster.MigrateNever {
 		t.Fatalf("explicit never overridden: %v", m)
 	}
-	s = Spec{Policy: PolicyBaseline, Migration: cluster.MigratePeriodic}
+	periodic := cluster.MigratePeriodic
+	s = Spec{Policy: PolicyBaseline, MigrationMode: &periodic}
 	if m := s.migrationMode(); m != cluster.MigratePeriodic {
 		t.Fatalf("explicit periodic overridden: %v", m)
 	}
@@ -142,11 +145,11 @@ func TestMigrationConfigOverride(t *testing.T) {
 }
 
 func TestRunDeterministicAcrossCalls(t *testing.T) {
-	a, err := Run(quickSpec(PolicyHDF))
+	a, err := Run(context.Background(), quickSpec(PolicyHDF))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(quickSpec(PolicyHDF))
+	b, err := Run(context.Background(), quickSpec(PolicyHDF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +162,7 @@ func TestSpecClusterOverridesWin(t *testing.T) {
 	spec := quickSpec(PolicyBaseline)
 	spec.Cluster.OSDs = 8
 	spec.OSDs = 16
-	res, err := Run(spec)
+	res, err := Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -32,7 +33,7 @@ func main() {
 	}
 	var all []series
 	for _, policy := range []edm.Policy{edm.PolicyBaseline, edm.PolicyHDF, edm.PolicyCDF} {
-		res, err := edm.Run(edm.Spec{
+		res, err := edm.Run(context.Background(), edm.Spec{
 			Workload: workload,
 			OSDs:     16,
 			Policy:   policy,

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -31,7 +32,7 @@ func main() {
 
 	var base *edm.Result
 	for _, policy := range edm.AllPolicies() {
-		res, err := edm.Run(edm.Spec{
+		res, err := edm.Run(context.Background(), edm.Spec{
 			Workload: workload,
 			OSDs:     16,
 			Policy:   policy,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	for _, policy := range []edm.Policy{edm.PolicyBaseline, edm.PolicyHDF} {
 		spec := base
 		spec.Policy = policy
-		res, err := edm.Run(spec)
+		res, err := edm.Run(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -33,7 +34,7 @@ func main() {
 	fmt.Println()
 
 	for _, policy := range []edm.Policy{edm.PolicyBaseline, edm.PolicyHDF} {
-		res, err := edm.Run(edm.Spec{
+		res, err := edm.Run(context.Background(), edm.Spec{
 			Workload: "home02",
 			OSDs:     16,
 			Policy:   policy,

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,7 +55,7 @@ func main() {
 	spec.Cluster.Metrics = sink.Registry
 	spec.Cluster.SampleInterval = sim.Second / 4
 
-	res, err := edm.Run(spec)
+	res, err := edm.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -20,7 +21,7 @@ func main() {
 	fmt.Println("wear variance across SSDs (baseline, no migration) — the Fig. 1 motivation")
 
 	for _, workload := range []string{"home02", "deasna", "lair62"} {
-		res, err := edm.Run(edm.Spec{
+		res, err := edm.Run(context.Background(), edm.Spec{
 			Workload: workload,
 			OSDs:     8,
 			Policy:   edm.PolicyBaseline,

@@ -163,34 +163,37 @@ func (sc Scenario) BuildTrace() (*trace.Trace, error) {
 	return tr, nil
 }
 
-// RunScenario executes one scenario under the full invariant checker
-// plus the fault-aware chaos invariants and returns its verdict. A
-// scenario that cannot even start (invalid shape, trace generation
-// failure, run error) yields a verdict violating "run.error" rather
-// than an out-of-band error, so the shrinker and the stress loop
-// handle broken candidates uniformly.
-func RunScenario(sc Scenario) Verdict {
-	var v Verdict
-	fail := func(format string, args ...any) Verdict {
-		v.Violations = append(v.Violations, "run.error: "+fmt.Sprintf(format, args...))
-		v.seal()
-		return v
-	}
+// scenarioEnv is one wired scenario execution: the cluster plus the
+// checker and injector whose post-run state seals the verdict. The
+// snapshot round-trip test rebuilds an identical env to resume a
+// checkpointed scenario — the process-local pieces (checker, injector,
+// test hooks) cannot ride in a snapshot, so re-wiring them must be
+// reproducible from the Scenario alone.
+type scenarioEnv struct {
+	cl      *cluster.Cluster
+	checker *check.Checker
+	inj     *Injector
+}
+
+// build wires the scenario into a ready-to-run cluster.
+// checkpointEvery > 0 arms the engine's checkpoint cadence; the caller
+// attaches the hook itself with cl.SetCheckpoint.
+func (sc Scenario) build(checkpointEvery uint64) (*scenarioEnv, error) {
 	if err := sc.Validate(); err != nil {
-		return fail("%v", err)
+		return nil, err
 	}
 	tr, err := sc.BuildTrace()
 	if err != nil {
-		return fail("trace: %v", err)
+		return nil, fmt.Errorf("trace: %v", err)
 	}
 	if len(tr.Records) == 0 {
-		return fail("trace truncated to zero records")
+		return nil, fmt.Errorf("trace truncated to zero records")
 	}
 
 	pol := edm.PolicyBaseline
 	if sc.Policy != "" {
 		if pol, err = edm.ParsePolicy(sc.Policy); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
 	}
 	mode := cluster.MigrateNever
@@ -199,7 +202,7 @@ func RunScenario(sc Scenario) Verdict {
 	}
 	if sc.Migration != "" {
 		if mode, err = cluster.ParseMigrationMode(sc.Migration); err != nil {
-			return fail("%v", err)
+			return nil, err
 		}
 	}
 
@@ -215,8 +218,9 @@ func RunScenario(sc Scenario) Verdict {
 		Lambda:         sc.Lambda,
 		Seed:           sc.Seed,
 		Cluster: cluster.Config{
-			WarmupDisabled: true,
-			Recorder:       inj,
+			WarmupDisabled:  true,
+			Recorder:        inj,
+			CheckpointEvery: checkpointEvery,
 			TestHooks: cluster.TestHooks{
 				MiscountLostOps: sc.PlantBug == PlantBugMiscountLostOps,
 			},
@@ -224,17 +228,18 @@ func RunScenario(sc Scenario) Verdict {
 	}
 	cl, err := edm.NewCluster(spec)
 	if err != nil {
-		return fail("cluster: %v", err)
+		return nil, fmt.Errorf("cluster: %v", err)
 	}
 	check.Bind(checker, cl)
 	inj.Arm(cl, sc.Plan)
+	return &scenarioEnv{cl: cl, checker: checker, inj: inj}, nil
+}
 
-	res, err := cl.RunContext(context.Background())
-	if err != nil {
-		return fail("run: %v", err)
-	}
-
-	rep := check.Audit(cl, checker)
+// verdict seals the outcome of a finished run: the checker's audit,
+// the injector's fault-aware invariants, and the result counters.
+func (env *scenarioEnv) verdict(res *edm.Result) Verdict {
+	var v Verdict
+	rep := check.Audit(env.cl, env.checker)
 	v.Events = rep.Events
 	for _, viol := range rep.Violations {
 		v.Violations = append(v.Violations, viol.String())
@@ -242,7 +247,7 @@ func RunScenario(sc Scenario) Verdict {
 	if rep.Dropped > 0 {
 		v.Violations = append(v.Violations, fmt.Sprintf("check.dropped: %d violations beyond the report cap", rep.Dropped))
 	}
-	v.Violations = append(v.Violations, inj.Violations(res)...)
+	v.Violations = append(v.Violations, env.inj.Violations(res)...)
 
 	v.Completed = res.Completed
 	v.LostOps = res.LostOps
@@ -250,6 +255,30 @@ func RunScenario(sc Scenario) Verdict {
 	v.Makespan = res.Makespan
 	v.seal()
 	return v
+}
+
+// RunScenario executes one scenario under the full invariant checker
+// plus the fault-aware chaos invariants and returns its verdict. A
+// scenario that cannot even start (invalid shape, trace generation
+// failure, run error) yields a verdict violating "run.error" rather
+// than an out-of-band error, so the shrinker and the stress loop
+// handle broken candidates uniformly.
+func RunScenario(sc Scenario) Verdict {
+	var v Verdict
+	fail := func(format string, args ...any) Verdict {
+		v.Violations = append(v.Violations, "run.error: "+fmt.Sprintf(format, args...))
+		v.seal()
+		return v
+	}
+	env, err := sc.build(0)
+	if err != nil {
+		return fail("%v", err)
+	}
+	res, err := env.cl.RunContext(context.Background())
+	if err != nil {
+		return fail("run: %v", err)
+	}
+	return env.verdict(res)
 }
 
 // GenScenario derives a random but fully determined scenario from a

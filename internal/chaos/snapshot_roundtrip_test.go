@@ -1,0 +1,126 @@
+package chaos
+
+// Snapshot round-trip under fault injection: a scenario checkpointed
+// while devices are failing, slowing and repairing must resume to the
+// exact sealed verdict of an uninterrupted run. This is the harshest
+// byte-identity case the checkpoint subsystem faces — the injector and
+// checker are process-local (they cannot ride in a frame), so resume
+// correctness rests on rebuilding them deterministically from the
+// Scenario and replaying through them.
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"edm/internal/sim"
+	"edm/internal/snapshot"
+)
+
+// faultWindow returns the [earliest, latest] fault activation times of
+// the plan (ok=false when the plan is empty).
+func faultWindow(p Plan) (lo, hi sim.Time, ok bool) {
+	for i, f := range p.Faults {
+		at := f.At + f.After
+		if i == 0 || at < lo {
+			lo = at
+		}
+		if i == 0 || at > hi {
+			hi = at
+		}
+	}
+	return lo, hi, len(p.Faults) > 0
+}
+
+func TestScenarioCheckpointRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	tested := 0
+	for seed := uint64(1); seed <= 40 && tested < 3; seed++ {
+		sc := GenScenario(seed)
+		lo, _, hasFaults := faultWindow(sc.Plan)
+		if !hasFaults {
+			continue
+		}
+		ref := RunScenario(sc)
+		if ref.Rules()["run.error"] {
+			continue // broken candidate; the stress loop's concern, not ours
+		}
+		if ref.Events < 60 {
+			continue // too short to checkpoint mid-run meaningfully
+		}
+
+		// Checkpointed run: same scenario, frames captured on a cadence
+		// that lands several mid-run. Capture must not perturb the
+		// verdict.
+		every := uint64(ref.Events / 6)
+		env, err := sc.build(every)
+		if err != nil {
+			t.Fatalf("seed %d: build: %v", seed, err)
+		}
+		var frames [][]byte
+		env.cl.SetCheckpoint(func(sim.Time) error {
+			var b bytes.Buffer
+			if err := snapshot.Capture(env.cl, nil, nil).EncodeTo(&b); err != nil {
+				return err
+			}
+			frames = append(frames, b.Bytes())
+			return nil
+		})
+		res, err := env.cl.RunContext(ctx)
+		if err != nil {
+			t.Fatalf("seed %d: checkpointed run: %v", seed, err)
+		}
+		if v := env.verdict(res); v.Digest != ref.Digest {
+			t.Fatalf("seed %d: checkpointing perturbed the run:\n ck: %+v\nref: %+v", seed, v, ref)
+		}
+		if len(frames) == 0 {
+			continue
+		}
+
+		// Prefer a frame taken inside the failure window — after at
+		// least one fault has activated — falling back to the middle.
+		pick := frames[len(frames)/2]
+		for _, f := range frames {
+			snap, err := snapshot.ReadLast(bytes.NewReader(f))
+			if err != nil {
+				t.Fatalf("seed %d: decoding frame: %v", seed, err)
+			}
+			if sim.Time(snap.Now) >= lo && snap.Fired < uint64(ref.Events) {
+				pick = f
+				break
+			}
+		}
+		snap, err := snapshot.ReadLast(bytes.NewReader(pick))
+		if err != nil {
+			t.Fatalf("seed %d: decoding picked frame: %v", seed, err)
+		}
+
+		// Resume: rebuild the env from the scenario, fast-forward to the
+		// frame, hard-verify the sealed state, continue to completion.
+		env2, err := sc.build(0)
+		if err != nil {
+			t.Fatalf("seed %d: rebuild: %v", seed, err)
+		}
+		if err := env2.cl.FastForward(ctx, snap.Fired); err != nil {
+			t.Fatalf("seed %d: fast-forward to %d: %v", seed, snap.Fired, err)
+		}
+		if err := snapshot.Verify(env2.cl, snap); err != nil {
+			t.Fatalf("seed %d: state verify at %d fired: %v", seed, snap.Fired, err)
+		}
+		res2, err := env2.cl.ContinueContext(ctx)
+		if err != nil {
+			t.Fatalf("seed %d: continue: %v", seed, err)
+		}
+		v2 := env2.verdict(res2)
+		if v2.Digest != ref.Digest {
+			t.Fatalf("seed %d: resumed verdict diverged (resumed at fired=%d now=%d):\nresumed: %+v\n    ref: %+v",
+				seed, snap.Fired, snap.Now, v2, ref)
+		}
+		t.Logf("seed %d: resumed at fired=%d/%d (now=%v, first fault at %v), digest %s",
+			seed, snap.Fired, ref.Events, sim.Time(snap.Now), lo, v2.Digest)
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no seed produced a faulted, checkpointable scenario — generator drifted?")
+	}
+}

@@ -79,6 +79,12 @@ type Cluster struct {
 	migrating  bool
 	wearTicker *sim.Ticker
 
+	// Checkpoint hook (SetCheckpoint) and queue-capture scratch. The
+	// hook is armed on the engine only while the run is live — never
+	// during a FastForward replay, which must not rewrite checkpoints.
+	ckFn     func(now sim.Time) error
+	queueBuf []sim.QueueEntry
+
 	// Telemetry (nil/zero when disabled — the hot paths nil-check).
 	rec      telemetry.Recorder
 	parked   *telemetry.Counter
@@ -289,6 +295,13 @@ func (c *Cluster) Remap() *remap.Table { return c.remap }
 
 // SetPlanner installs the migration policy (nil for the baseline).
 func (c *Cluster) SetPlanner(p migration.Planner) { c.planner = p }
+
+// SetCheckpoint installs the checkpoint hook, called between simulation
+// events every Config.CheckpointEvery fired events while a run (or a
+// resumed continuation) is live. The hook lives outside Config so that
+// Config stays JSON-serializable; install it after New and before Run.
+// A nil fn (or CheckpointEvery == 0) disables checkpointing.
+func (c *Cluster) SetCheckpoint(fn func(now sim.Time) error) { c.ckFn = fn }
 
 // objectID derives the cluster-unique object id of a file's idx-th
 // object.

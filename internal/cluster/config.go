@@ -160,6 +160,15 @@ type Config struct {
 	// is fully deterministic — but reserved for think-time extensions).
 	Seed uint64
 
+	// CheckpointEvery arms the checkpoint cadence: every this many fired
+	// simulation events, the hook installed with Cluster.SetCheckpoint
+	// runs between events. The cadence counts absolute fired events, so
+	// a resumed run checkpoints at the same event numbers as an
+	// uninterrupted one. 0 (the default) disables checkpointing. The
+	// hook itself is a func and therefore lives outside Config — Config
+	// must stay JSON-serializable for the wire spec contract.
+	CheckpointEvery uint64
+
 	// SelfCheck makes Run audit the cluster's conservation laws after
 	// the replay drains (see Audit) and fail with a descriptive error if
 	// any is violated. The audit walks every SSD's mapping tables, so it

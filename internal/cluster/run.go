@@ -179,16 +179,81 @@ func (c *Cluster) Run() (*Result, error) {
 // Result — the replay stopped mid-trace, so every figure metric would
 // be truncated — and the cluster cannot be re-run.
 func (c *Cluster) RunContext(ctx context.Context) (*Result, error) {
+	if err := c.prepare(ctx); err != nil {
+		return nil, err
+	}
+	c.armCheckpoint()
+	if err := c.eng.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("cluster: run interrupted at %v (%d/%d ops): %w",
+			c.eng.Now(), c.completedOps, c.totalOps, err)
+	}
+	return c.finish()
+}
+
+// FastForward replays the run from the start to exactly fired events —
+// the checkpoint-restore path. The cluster must be freshly built (same
+// config, trace and planner as the checkpointed run); determinism makes
+// the replay reproduce the original execution event for event, and the
+// caller verifies the arrival by diffing ExportState against the sealed
+// capture. The checkpoint hook stays disarmed during the replay — a
+// resume must not rewrite the checkpoints the original run already
+// wrote — and is re-armed by ContinueContext.
+func (c *Cluster) FastForward(ctx context.Context, fired uint64) error {
+	if err := c.prepare(ctx); err != nil {
+		return err
+	}
+	c.eng.SetCheckpoint(0, nil)
+	if fired == 0 {
+		return nil
+	}
+	if err := c.eng.RunContextFired(ctx, fired); err != nil {
+		return fmt.Errorf("cluster: fast-forward to event %d: %w", fired, err)
+	}
+	return nil
+}
+
+// ContinueContext resumes a fast-forwarded run to completion: the
+// second half of the RunContext split, with the checkpoint hook
+// re-armed so the continuation keeps checkpointing on the original
+// cadence (the cadence counts absolute fired events, so checkpoint
+// positions match an uninterrupted run).
+func (c *Cluster) ContinueContext(ctx context.Context) (*Result, error) {
+	if c.totalOps == 0 {
+		return nil, fmt.Errorf("cluster: ContinueContext without FastForward")
+	}
+	c.armCheckpoint()
+	if err := c.eng.RunContext(ctx); err != nil {
+		return nil, fmt.Errorf("cluster: run interrupted at %v (%d/%d ops): %w",
+			c.eng.Now(), c.completedOps, c.totalOps, err)
+	}
+	return c.finish()
+}
+
+// armCheckpoint installs the checkpoint hook on the engine when both
+// the cadence and the hook are configured.
+func (c *Cluster) armCheckpoint() {
+	if c.cfg.CheckpointEvery > 0 && c.ckFn != nil {
+		c.eng.SetCheckpoint(c.cfg.CheckpointEvery, c.ckFn)
+	} else {
+		c.eng.SetCheckpoint(0, nil)
+	}
+}
+
+// prepare builds the replay schedule: stream sharding, migration
+// triggers, metric sampling, and the initial event population. It is
+// the first half of a run; eng.RunContext (or RunContextFired on a
+// resume) then drains the schedule and finish() produces the Result.
+func (c *Cluster) prepare(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("cluster: run not started: %w", err)
+		return fmt.Errorf("cluster: run not started: %w", err)
 	}
 	if c.totalOps > 0 {
-		return nil, fmt.Errorf("cluster: Run called twice")
+		return fmt.Errorf("cluster: Run called twice")
 	}
 	c.buildStreams()
 	c.totalOps = len(c.tr.Records)
 	if c.totalOps == 0 {
-		return nil, fmt.Errorf("cluster: empty trace")
+		return fmt.Errorf("cluster: empty trace")
 	}
 	if c.cfg.Migration == MigrateMidpoint {
 		c.migrateAfter = c.totalOps / 2
@@ -229,11 +294,11 @@ func (c *Cluster) RunContext(ctx context.Context) (*Result, error) {
 			c.eng.AtAction(0, &c.streams[i])
 		}
 	}
-	if err := c.eng.RunContext(ctx); err != nil {
-		return nil, fmt.Errorf("cluster: run interrupted at %v (%d/%d ops): %w",
-			c.eng.Now(), c.completedOps, c.totalOps, err)
-	}
+	return nil
+}
 
+// finish audits and summarises a drained run.
+func (c *Cluster) finish() (*Result, error) {
 	if c.cfg.SelfCheck {
 		if v := c.Audit(); len(v) > 0 {
 			return nil, fmt.Errorf("cluster: self-check found %d violations:\n  %s",

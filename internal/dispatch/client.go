@@ -145,20 +145,50 @@ func (c *Client) Submit(ctx context.Context, req server.RunRequest) (server.JobS
 	return st, err
 }
 
-// runView mirrors the GET /v1/runs/{id} body.
-type runView struct {
-	server.JobStatus
-	Result *edm.Result `json:"result,omitempty"`
-}
-
 // Status fetches one job's status; once the job is done the result is
 // attached.
 func (c *Client) Status(ctx context.Context, id string) (server.JobStatus, *edm.Result, error) {
-	var view runView
+	var view server.RunView
 	if err := c.do(ctx, http.MethodGet, "/v1/runs/"+id, nil, &view); err != nil {
 		return server.JobStatus{}, nil, err
 	}
 	return view.JobStatus, view.Result, nil
+}
+
+// Checkpoint requests an on-demand checkpoint of a running job and
+// returns the digest-sealed frame. Single attempt, like Health: the
+// caller is stashing resume state on a cadence and prefers a quick
+// miss over a retry storm against a dying worker. ErrNoCheckpoint
+// when the job finished without a frame.
+func (c *Client) Checkpoint(ctx context.Context, id string) ([]byte, error) {
+	return c.frame(ctx, http.MethodPost, "/v1/runs/"+id+"/checkpoint")
+}
+
+// LatestCheckpoint fetches the newest cadence frame without perturbing
+// the run; server.ErrNoCheckpoint when the run has not checkpointed.
+func (c *Client) LatestCheckpoint(ctx context.Context, id string) ([]byte, error) {
+	return c.frame(ctx, http.MethodGet, "/v1/runs/"+id+"/checkpoint")
+}
+
+func (c *Client) frame(ctx context.Context, method, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.cfg.HTTP.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnavailable, c.cfg.BaseURL, err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return nil, server.ErrNoCheckpoint
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return io.ReadAll(resp.Body)
+	default:
+		return nil, fmt.Errorf("dispatch: %s: %s %s: %s: %s",
+			c.cfg.BaseURL, method, path, resp.Status, apiErrorText(resp.Body))
+	}
 }
 
 // Cancel requests cancellation of a job (best effort: a terminal job
@@ -172,6 +202,14 @@ func (c *Client) Cancel(ctx context.Context, id string) error {
 // returns an error wrapping ErrRunFailed; a worker that stops
 // answering returns one wrapping ErrUnavailable.
 func (c *Client) Run(ctx context.Context, req server.RunRequest) (*edm.Result, error) {
+	return c.run(ctx, req, nil)
+}
+
+// run is Run plus checkpoint stashing: when onFrame is non-nil, each
+// status poll of a running job also fetches the newest checkpoint
+// frame and hands it to onFrame. Frame fetches are best effort — a
+// miss (no frame yet, worker wobble) never fails the run.
+func (c *Client) run(ctx context.Context, req server.RunRequest, onFrame func([]byte)) (*edm.Result, error) {
 	st, err := c.Submit(ctx, req)
 	if err != nil {
 		return nil, err
@@ -187,6 +225,11 @@ func (c *Client) Run(ctx context.Context, req server.RunRequest) (*edm.Result, e
 		cur, res, err := c.Status(ctx, st.ID)
 		if err != nil {
 			return nil, err
+		}
+		if onFrame != nil && cur.State == server.StateRunning {
+			if frame, err := c.LatestCheckpoint(ctx, st.ID); err == nil && len(frame) > 0 {
+				onFrame(frame)
+			}
 		}
 		switch cur.State {
 		case server.StateDone:
@@ -205,6 +248,20 @@ func (c *Client) Run(ctx context.Context, req server.RunRequest) (*edm.Result, e
 // carries every field of the spec and nothing else.
 func (c *Client) RunCell(ctx context.Context, spec experiment.CellSpec) (*edm.Result, error) {
 	return c.Run(ctx, RequestForCell(spec))
+}
+
+// RunCellResumable executes one cell with checkpoint stashing: the
+// worker checkpoints every `every` fired events, each status poll
+// pulls the newest frame into onFrame, and a non-nil resume stream
+// continues a previous (killed) execution from its last stashed frame
+// instead of starting over — the worker fast-forwards, verifies the
+// sealed state, and finishes with bytes identical to an uninterrupted
+// run.
+func (c *Client) RunCellResumable(ctx context.Context, spec experiment.CellSpec, every uint64, resume []byte, onFrame func([]byte)) (*edm.Result, error) {
+	req := RequestForCell(spec)
+	req.CheckpointEvery = every
+	req.Resume = resume
+	return c.run(ctx, req, onFrame)
 }
 
 // RequestForCell converts a cell spec to the wire request an edmd

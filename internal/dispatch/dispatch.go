@@ -73,6 +73,10 @@ type CellRun struct {
 	Reassigned int
 	Hedged     bool
 	Discarded  int
+	// Resumed counts executions that continued from a stashed
+	// checkpoint frame instead of replaying the cell from scratch
+	// (only possible with Config.CheckpointEvery > 0).
+	Resumed int
 	// Duration is first launch to accepted completion.
 	Duration time.Duration
 }

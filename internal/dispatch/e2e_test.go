@@ -133,6 +133,74 @@ func TestWorkerKilledMidSweepStillByteIdentical(t *testing.T) {
 	}
 }
 
+// TestCheckpointedDispatchResumesKilledWorkerCell is the distributed
+// slice of the checkpoint subsystem promise: with CheckpointEvery set,
+// the coordinator stashes each running cell's newest frame, and when a
+// worker dies mid-cell the reassigned execution resumes from that
+// frame on the survivor — finishing with figure tables byte-identical
+// to an uninterrupted local sweep, and demonstrably resuming rather
+// than restarting.
+func TestCheckpointedDispatchResumesKilledWorkerCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	// Bigger cells than e2eOpts (seconds, not milliseconds): a cell
+	// must live long enough to checkpoint, be stashed, and be killed
+	// mid-flight.
+	opts := experiment.Options{
+		Scale:     20,
+		Seed:      3,
+		OSDCounts: []int{16},
+		Traces:    []string{"home02", "home03"},
+	}
+	want := formatAll(opts, experiment.Matrix(opts))
+
+	_, ts1 := startWorker(t, server.Config{Workers: 1, QueueDepth: 32})
+	_, ts2 := startWorker(t, server.Config{Workers: 1, QueueDepth: 32})
+
+	p := New(Config{
+		Workers:         []string{ts1.URL, ts2.URL},
+		Client:          fastClient(),
+		Slots:           1,
+		DisableLocal:    true,
+		ProbeInterval:   5 * time.Millisecond,
+		CheckpointEvery: 20_000,
+		Logf:            t.Logf,
+	})
+
+	// Kill worker 1 only once the coordinator has stashed a frame from
+	// the cell running on it, so the reassigned execution has
+	// something to resume from.
+	go func() {
+		deadline := time.Now().Add(30 * time.Second)
+		for p.workers[0].frames.Load() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		ts1.Close()
+	}()
+
+	runs, err := p.Run(context.Background(), experiment.MatrixSpecs(opts))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	resumed := 0
+	for _, r := range runs {
+		if r.Err != nil {
+			t.Fatalf("cell %s: %v", r.Spec, r.Err)
+		}
+		resumed += r.Resumed
+	}
+	if got := formatAll(opts, Merge(runs)); got != want {
+		t.Errorf("tables diverged after checkpointed resume:\n--- distributed ---\n%s\n--- local ---\n%s", got, want)
+	}
+	t.Logf("resumes=%d frames[0]=%d frames[1]=%d reassigned=%d",
+		p.resumes.Load(), p.workers[0].frames.Load(), p.workers[1].frames.Load(), p.reassigns.Load())
+	if resumed == 0 || p.resumes.Load() == 0 {
+		t.Errorf("no cell resumed from a stashed checkpoint (resumed=%d, fleet resumes=%d)",
+			resumed, p.resumes.Load())
+	}
+}
+
 // TestAllWorkersDownFallsBackToLocal pins graceful degradation: with
 // the whole fleet unreachable, the sweep still completes locally and
 // the tables match the reference run byte for byte.

@@ -42,6 +42,15 @@ type Config struct {
 	// ProbeInterval paces /healthz re-probes of unhealthy workers
 	// (default 500ms).
 	ProbeInterval time.Duration
+	// CheckpointEvery, when > 0, turns on checkpointed dispatch: every
+	// remote cell checkpoints at this cadence (fired simulation
+	// events), the coordinator stashes the newest frame on each status
+	// poll, and a cell reassigned after its worker died resumes on the
+	// next worker from the stashed frame — verified, byte-identical to
+	// a fresh run — instead of starting over. 0 keeps plain dispatch
+	// (determinism already makes reruns safe; resume just makes them
+	// cheaper).
+	CheckpointEvery uint64
 
 	// Local runs cells when the fleet cannot (default
 	// experiment.RunCell). DisableLocal turns the fallback off: cells
@@ -89,6 +98,7 @@ type workerState struct {
 	failed    atomic.Uint64 // permanent run failures it reported
 	downs     atomic.Uint64 // times it was marked unavailable
 	discarded atomic.Uint64 // completions discarded as duplicates
+	frames    atomic.Uint64 // checkpoint frames stashed from its jobs
 }
 
 // Pool coordinates sweeps over a worker fleet. Build with New; one
@@ -102,6 +112,7 @@ type Pool struct {
 	hedges     atomic.Uint64
 	reassigns  atomic.Uint64
 	duplicates atomic.Uint64
+	resumes    atomic.Uint64
 }
 
 // New builds a pool over the configured fleet.
@@ -128,6 +139,8 @@ type cellState struct {
 	reassigned int
 	hedged     bool
 	discarded  int
+	resumed    int
+	frame      []byte // newest stashed checkpoint frame
 	firstStart time.Time
 	lastStart  time.Time
 
@@ -238,6 +251,7 @@ func (p *Pool) Run(ctx context.Context, specs []experiment.CellSpec) ([]CellRun,
 			Reassigned: c.reassigned,
 			Hedged:     c.hedged,
 			Discarded:  c.discarded,
+			Resumed:    c.resumed,
 			Duration:   c.duration,
 		}
 		if !c.done {
@@ -340,7 +354,30 @@ func (p *Pool) execute(ctx context.Context, rs *runState, w *workerState, cell *
 		return
 	}
 	w.assigned.Add(1)
-	res, err := w.client.RunCell(ctx, cell.spec)
+	var res *edm.Result
+	var err error
+	if p.cfg.CheckpointEvery > 0 {
+		rs.mu.Lock()
+		resume := cell.frame
+		if resume != nil {
+			cell.resumed++
+		}
+		rs.mu.Unlock()
+		if resume != nil {
+			p.resumes.Add(1)
+			p.cfg.Logf("dispatch: resuming %s on %s from stashed checkpoint (%d bytes)",
+				cell.spec, w.name, len(resume))
+		}
+		res, err = w.client.RunCellResumable(ctx, cell.spec, p.cfg.CheckpointEvery, resume,
+			func(frame []byte) {
+				rs.mu.Lock()
+				cell.frame = frame
+				rs.mu.Unlock()
+				w.frames.Add(1)
+			})
+	} else {
+		res, err = w.client.RunCell(ctx, cell.spec)
+	}
 	switch {
 	case err == nil:
 		if p.deliver(rs, cell, res, nil, w.name) {
@@ -580,11 +617,13 @@ func (p *Pool) Registry() *telemetry.Registry {
 		gauge(prefix+"retries", &w.client.Retries)
 		gauge(prefix+"downs", &w.downs)
 		gauge(prefix+"discarded", &w.discarded)
+		gauge(prefix+"frames_stashed", &w.frames)
 	}
 	gauge("fleet.local_runs", &p.localRuns)
 	gauge("fleet.hedges", &p.hedges)
 	gauge("fleet.reassigned", &p.reassigns)
 	gauge("fleet.duplicates_discarded", &p.duplicates)
+	gauge("fleet.checkpoint_resumes", &p.resumes)
 	return reg
 }
 

@@ -1,0 +1,75 @@
+package flash
+
+import (
+	"math"
+
+	"edm/internal/fnvx"
+)
+
+// State is the exportable capture of an SSD's FTL state: the summary
+// counters as plain values plus a digest sealing the full mapping and
+// block-level state. The digest covers everything that can influence
+// future device behavior — the L2P/P2L maps, per-block metadata
+// (state, valid count, write pointer, age stamp), the free list, both
+// write frontiers, and the GC buckets *in order* (victim selection
+// breaks ties by bucket position, so bucket order is behaviorally
+// significant state).
+//
+// Capture is strictly read-only: exporting a State mutates nothing, so
+// a checkpointed run stays byte-identical to an uncheckpointed one.
+type State struct {
+	LivePages  int64  `json:"live_pages"`
+	FreeBlocks int    `json:"free_blocks"`
+	OpClock    uint64 `json:"op_clock"`
+
+	HostPageWrites uint64 `json:"host_page_writes"`
+	HostPageReads  uint64 `json:"host_page_reads"`
+	GCPageMoves    uint64 `json:"gc_page_moves"`
+	Erases         uint64 `json:"erases"`
+	TrimmedPages   uint64 `json:"trimmed_pages"`
+	// VictimValidSumBits is the IEEE-754 bit pattern of the victim
+	// valid-ratio accumulator, exported as bits so the capture is exact.
+	VictimValidSumBits uint64 `json:"victim_valid_sum_bits"`
+
+	// Digest seals the full FTL state (see the type comment).
+	Digest uint64 `json:"digest"`
+}
+
+// ExportState captures the device's state. It walks the mapping tables
+// (O(total pages)) — meant for checkpoints, not hot paths.
+func (s *SSD) ExportState() State {
+	h := fnvx.New()
+	for _, v := range s.l2p {
+		h = h.Int64(v)
+	}
+	for _, v := range s.p2l {
+		h = h.Int64(v)
+	}
+	for i := range s.blocks {
+		b := &s.blocks[i]
+		h = h.Byte(byte(b.state)).Int(b.validCount).Int(b.writePtr).Uint64(b.lastWrite)
+	}
+	h = h.Int(len(s.free))
+	for _, id := range s.free {
+		h = h.Int(int(id))
+	}
+	h = h.Int(int(s.active)).Int(int(s.gcActive))
+	for _, bucket := range s.buckets {
+		h = h.Int(len(bucket))
+		for _, id := range bucket {
+			h = h.Int(int(id))
+		}
+	}
+	return State{
+		LivePages:          s.livePages,
+		FreeBlocks:         len(s.free),
+		OpClock:            s.opClock,
+		HostPageWrites:     s.stats.HostPageWrites,
+		HostPageReads:      s.stats.HostPageReads,
+		GCPageMoves:        s.stats.GCPageMoves,
+		Erases:             s.stats.Erases,
+		TrimmedPages:       s.stats.TrimmedPages,
+		VictimValidSumBits: math.Float64bits(s.stats.victimValidSum),
+		Digest:             h.Sum(),
+	}
+}

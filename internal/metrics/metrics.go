@@ -157,6 +157,12 @@ func (h *Histogram) Reset(buf []float64) {
 // histogram. The histogram must not be used afterwards.
 func (h *Histogram) Buffer() []float64 { return h.xs }
 
+// Samples exposes the raw sample slice for read-only inspection (state
+// digests). Samples appear in observation order until the first
+// Quantile call sorts them in place; callers that need a
+// capture-order-stable view must read before querying quantiles.
+func (h *Histogram) Samples() []float64 { return h.xs }
+
 // Count returns the number of samples.
 func (h *Histogram) Count() int { return len(h.xs) }
 

@@ -27,8 +27,9 @@ func splitmix64(state *uint64) uint64 {
 // splittable seed so that subsystems (per-SSD, per-client, per-generator)
 // can each own an independent stream derived from one experiment seed.
 type Stream struct {
-	r    *rand.Rand
-	seed uint64
+	r     *rand.Rand
+	seed  uint64
+	draws uint64
 }
 
 // New returns a stream seeded with seed.
@@ -50,23 +51,30 @@ func (s *Stream) Split(label uint64) *Stream {
 // Seed returns the seed this stream was created with.
 func (s *Stream) Seed() uint64 { return s.seed }
 
+// State returns the stream's seed and the number of top-level draws
+// made so far. Because a stream's sequence is a pure function of its
+// seed, (seed, draws) fully identifies the stream's position — two
+// streams with equal State have byte-identical futures. Checkpoint
+// verification compares these pairs to pin RNG alignment on resume.
+func (s *Stream) State() (seed, draws uint64) { return s.seed, s.draws }
+
 // Uint64 returns a uniformly distributed 64-bit value.
-func (s *Stream) Uint64() uint64 { return s.r.Uint64() }
+func (s *Stream) Uint64() uint64 { s.draws++; return s.r.Uint64() }
 
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
-func (s *Stream) Intn(n int) int { return s.r.Intn(n) }
+func (s *Stream) Intn(n int) int { s.draws++; return s.r.Intn(n) }
 
 // Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
-func (s *Stream) Int63n(n int64) int64 { return s.r.Int63n(n) }
+func (s *Stream) Int63n(n int64) int64 { s.draws++; return s.r.Int63n(n) }
 
 // Float64 returns a uniform float64 in [0, 1).
-func (s *Stream) Float64() float64 { return s.r.Float64() }
+func (s *Stream) Float64() float64 { s.draws++; return s.r.Float64() }
 
 // NormFloat64 returns a standard normal variate.
-func (s *Stream) NormFloat64() float64 { return s.r.NormFloat64() }
+func (s *Stream) NormFloat64() float64 { s.draws++; return s.r.NormFloat64() }
 
 // ExpFloat64 returns an exponential variate with rate 1.
-func (s *Stream) ExpFloat64() float64 { return s.r.ExpFloat64() }
+func (s *Stream) ExpFloat64() float64 { s.draws++; return s.r.ExpFloat64() }
 
 // UniformRange returns a uniform int64 in [lo, hi]. It panics if hi < lo.
 func (s *Stream) UniformRange(lo, hi int64) int64 {
@@ -98,10 +106,10 @@ func (s *Stream) LognormalMean(mean, cv float64) float64 {
 }
 
 // Perm returns a random permutation of [0, n).
-func (s *Stream) Perm(n int) []int { return s.r.Perm(n) }
+func (s *Stream) Perm(n int) []int { s.draws++; return s.r.Perm(n) }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
-func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+func (s *Stream) Shuffle(n int, swap func(i, j int)) { s.draws++; s.r.Shuffle(n, swap) }
 
 // Zipf samples ranks in [0, n) with probability proportional to
 // 1/(rank+1+q)^skew — the Zipf–Mandelbrot law. The offset q flattens

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"edm"
+)
+
+// midReq is big enough (hundreds of ms of replay) that a demand
+// checkpoint reliably lands mid-run, small enough to re-run locally
+// for byte comparison.
+func midReq() RunRequest {
+	return RunRequest{Workload: "home02", Scale: 20, OSDs: 16, Seed: 3}
+}
+
+// directRun executes the request's spec in-process — the reference
+// bytes every server-side path must reproduce.
+func directRun(t *testing.T, req RunRequest) []byte {
+	t.Helper()
+	spec, err := req.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := edm.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestCheckpointResumeOverHTTP is the serving layer's slice of the
+// subsystem promise: demand-checkpoint a running job, cancel it,
+// submit the frame as a resume request, and the resumed job's result
+// is byte-identical to an uninterrupted local run.
+func TestCheckpointResumeOverHTTP(t *testing.T) {
+	_, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+	want := directRun(t, midReq())
+
+	st, resp := submit(t, ts, midReq())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitProgress(t, c, st.ID, 30*time.Second)
+
+	ckCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	frame, err := c.Checkpoint(ckCtx, st.ID)
+	if err != nil {
+		t.Fatalf("demand checkpoint: %v", err)
+	}
+	if len(frame) == 0 {
+		t.Fatal("demand checkpoint returned an empty frame")
+	}
+	// GET must now serve a frame too (the demand one, or a newer
+	// cadence frame).
+	if latest, err := c.LatestCheckpoint(ctx, st.ID); err != nil || len(latest) == 0 {
+		t.Fatalf("LatestCheckpoint after demand = %d bytes, %v", len(latest), err)
+	}
+
+	// Kill the original; the frame is all that survives.
+	if _, err := c.Cancel(ctx, st.ID); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	waitState(t, c, st.ID, "", 10*time.Second)
+
+	re, resp := submit(t, ts, RunRequest{Resume: frame})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit resume: status %d", resp.StatusCode)
+	}
+	// The resumed job's status view shows the frame's embedded spec.
+	if view, err := c.Status(ctx, re.ID); err != nil || view.Request.Workload != "" && view.Request.Workload != "home02" {
+		t.Fatalf("resume job view: %+v, %v", view, err)
+	}
+	waitState(t, c, re.ID, StateDone, 60*time.Second)
+	view, err := c.Status(ctx, re.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(view.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed job result differs from uninterrupted local run:\n got: %.200s\nwant: %.200s", got, want)
+	}
+}
+
+// TestCheckpointUnknownJob pins the client-side error mapping for the
+// checkpoint endpoints.
+func TestCheckpointUnknownJob(t *testing.T) {
+	_, _, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	_, err := c.LatestCheckpoint(context.Background(), "run-99999999")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("LatestCheckpoint(unknown) = %v, want 404 APIError", err)
+	}
+	_, err = c.Checkpoint(context.Background(), "run-99999999")
+	if !errors.As(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Fatalf("Checkpoint(unknown) = %v, want 404 APIError", err)
+	}
+}
+
+// TestBadResumeRejected: garbage resume data is a 400 at submit time,
+// not a failed job later.
+func TestBadResumeRejected(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	_, resp := submit(t, ts, RunRequest{Resume: []byte("not a snapshot frame")})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("submit with garbage resume: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStateDirRecovery pins resume-on-restart: a server killed with an
+// unfinished, checkpointed job leaves <id>.req and <id>.ckpt behind; a
+// new server over the same StateDir re-admits the job under its
+// original id, resumes it from the newest frame, and finishes with
+// bytes identical to an uninterrupted local run. Completion then
+// cleans the state files up.
+func TestStateDirRecovery(t *testing.T) {
+	dir := t.TempDir()
+	want := directRun(t, midReq())
+
+	// First life: run, checkpoint, die mid-flight.
+	sA := New(Config{Workers: 1, QueueDepth: 4, StateDir: dir})
+	tsA := httptest.NewServer(sA.Handler())
+	cA := NewClient(tsA.URL, nil)
+	st, respA := submit(t, tsA, midReq())
+	if respA.StatusCode != http.StatusCreated {
+		t.Fatalf("submit: status %d", respA.StatusCode)
+	}
+	waitProgress(t, cA, st.ID, 30*time.Second)
+	ckCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if _, err := cA.Checkpoint(ckCtx, st.ID); err != nil {
+		cancel()
+		t.Fatalf("demand checkpoint: %v", err)
+	}
+	cancel()
+	// Simulate a crash: force-cancel the in-flight job (drain deadline
+	// already expired) and tear the process-equivalent down. Cancelled
+	// jobs keep their state files.
+	expired, cancelExpired := context.WithCancel(context.Background())
+	cancelExpired()
+	_ = sA.Shutdown(expired)
+	tsA.Close()
+
+	for _, name := range []string{st.ID + ".req", st.ID + ".ckpt"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("state file %s missing after crash: %v", name, err)
+		}
+	}
+
+	// Second life: recovery re-admits and finishes the job.
+	sB := New(Config{Workers: 1, QueueDepth: 4, StateDir: dir})
+	tsB := httptest.NewServer(sB.Handler())
+	cB := NewClient(tsB.URL, nil)
+	t.Cleanup(func() {
+		tsB.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = sB.Shutdown(ctx)
+	})
+
+	waitState(t, cB, st.ID, StateDone, 60*time.Second)
+	view, err := cB.Status(context.Background(), st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(view.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("recovered job result differs from uninterrupted local run:\n got: %.200s\nwant: %.200s", got, want)
+	}
+	if len(view.Request.Resume) == 0 {
+		t.Error("recovered job did not resume from its checkpoint file")
+	}
+
+	// Done jobs clean up their state files.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, errReq := os.Stat(filepath.Join(dir, st.ID+".req"))
+		_, errCk := os.Stat(filepath.Join(dir, st.ID+".ckpt"))
+		if os.IsNotExist(errReq) && os.IsNotExist(errCk) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("state files not cleaned up after completion")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -43,7 +43,7 @@ func TestErrorResponseHeaders(t *testing.T) {
 			name:       "bad request body is 400",
 			wantStatus: http.StatusBadRequest,
 			do: func(t *testing.T) *http.Response {
-				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				_, ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 				resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(`{"workload"`))
 				if err != nil {
 					t.Fatal(err)
@@ -55,7 +55,7 @@ func TestErrorResponseHeaders(t *testing.T) {
 			name:       "unknown job is 404",
 			wantStatus: http.StatusNotFound,
 			do: func(t *testing.T) *http.Response {
-				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				_, ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 				resp, err := http.Get(ts.URL + "/v1/runs/no-such-job")
 				if err != nil {
 					t.Fatal(err)
@@ -67,7 +67,7 @@ func TestErrorResponseHeaders(t *testing.T) {
 			name:       "cancel of unknown job is 404",
 			wantStatus: http.StatusNotFound,
 			do: func(t *testing.T) *http.Response {
-				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				_, ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 				req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/no-such-job", nil)
 				resp, err := http.DefaultClient.Do(req)
 				if err != nil {
@@ -81,9 +81,9 @@ func TestErrorResponseHeaders(t *testing.T) {
 			wantStatus: http.StatusTooManyRequests,
 			retryAfter: true,
 			do: func(t *testing.T) *http.Response {
-				_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				_, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 				blocker, _ := submit(t, ts, slowReq())
-				waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+				waitState(t, c, blocker.ID, StateRunning, 5*time.Second)
 				if _, resp := submit(t, ts, fastReq()); resp.StatusCode != http.StatusCreated {
 					t.Fatalf("filling queue: status %d", resp.StatusCode)
 				}
@@ -95,7 +95,7 @@ func TestErrorResponseHeaders(t *testing.T) {
 			wantStatus: http.StatusServiceUnavailable,
 			retryAfter: true,
 			do: func(t *testing.T) *http.Response {
-				s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+				s, ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 				defer cancel()
 				if err := s.Shutdown(ctx); err != nil {
@@ -146,9 +146,9 @@ func TestRetryAfterConfigurable(t *testing.T) {
 		{1500 * time.Millisecond, "2"},
 		{3 * time.Second, "3"},
 	} {
-		_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: tc.cfg})
+		_, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: tc.cfg})
 		blocker, _ := submit(t, ts, slowReq())
-		waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+		waitState(t, c, blocker.ID, StateRunning, 5*time.Second)
 		if _, resp := submit(t, ts, fastReq()); resp.StatusCode != http.StatusCreated {
 			t.Fatalf("filling queue: status %d", resp.StatusCode)
 		}
@@ -164,7 +164,7 @@ func TestRetryAfterConfigurable(t *testing.T) {
 }
 
 func TestVersionEndpoint(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 3, QueueDepth: 7})
+	_, ts, _ := newTestServer(t, Config{Workers: 3, QueueDepth: 7})
 	resp, err := http.Get(ts.URL + "/v1/version")
 	if err != nil {
 		t.Fatal(err)
@@ -194,10 +194,10 @@ func TestVersionEndpoint(t *testing.T) {
 // TestJobTimingsReported checks the richer job-result payload: a
 // finished job reports queue wait and elapsed execution time.
 func TestJobTimingsReported(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 	st, _ := submit(t, ts, fastReq())
-	waitState(t, ts, st.ID, StateDone, 30*time.Second)
-	done, _ := getStatus(t, ts, st.ID)
+	waitState(t, c, st.ID, StateDone, 30*time.Second)
+	done, _ := getStatus(t, c, st.ID)
 	if done.QueueWaitS < 0 {
 		t.Errorf("queue_wait_s = %v, want >= 0", done.QueueWaitS)
 	}

@@ -21,6 +21,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/runs", s.handleList)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleStream)
+	mux.HandleFunc("GET /v1/runs/{id}/checkpoint", s.handleCheckpointGet)
+	mux.HandleFunc("POST /v1/runs/{id}/checkpoint", s.handleCheckpointPost)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -45,9 +47,9 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, apiError{Error: err.Error()})
 }
 
-// runView is the GET /v1/runs/{id} body: the job status with the
+// RunView is the GET /v1/runs/{id} body: the job status with the
 // result inlined once the run is done.
-type runView struct {
+type RunView struct {
 	JobStatus
 	Result *edm.Result `json:"result,omitempty"`
 }
@@ -94,7 +96,67 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, res := j.status()
-	writeJSON(w, http.StatusOK, runView{JobStatus: st, Result: res})
+	writeJSON(w, http.StatusOK, RunView{JobStatus: st, Result: res})
+}
+
+// checkpointContentType labels checkpoint frame responses; the payload
+// is the binary frame format internal/snapshot documents.
+const checkpointContentType = "application/x-edm-snapshot"
+
+func writeFrame(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", checkpointContentType)
+	w.Header().Set("Cache-Control", "no-store")
+	_, _ = w.Write(frame)
+}
+
+// handleCheckpointGet serves the job's newest digest-sealed checkpoint
+// frame, 204 when the run has not produced one yet.
+func (s *Server) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	frame, _ := j.checkpoint()
+	if frame == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeFrame(w, frame)
+}
+
+// handleCheckpointPost requests an on-demand checkpoint of a running
+// job and returns the resulting frame. The simulation polls its trigger
+// between events, so the wait is normally a few thousand fired events;
+// the request context bounds it. A job that goes terminal before
+// producing a fresh frame answers with its newest existing frame, or
+// 204 when it never wrote one.
+func (s *Server) handleCheckpointPost(w http.ResponseWriter, r *http.Request) {
+	j, err := s.lookup(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	prev, fresh := j.checkpoint()
+	j.trigger.Request()
+	select {
+	case <-fresh:
+		frame, _ := j.checkpoint()
+		writeFrame(w, frame)
+	case <-j.done:
+		// Raced with completion; whatever frame exists is the final word.
+		if frame, _ := j.checkpoint(); frame != nil {
+			writeFrame(w, frame)
+		} else {
+			w.WriteHeader(http.StatusNoContent)
+		}
+	case <-r.Context().Done():
+		if prev != nil {
+			writeFrame(w, prev)
+			return
+		}
+		writeError(w, http.StatusRequestTimeout, fmt.Errorf("server: job %s: checkpoint not produced before client deadline", j.id))
+	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -186,8 +248,20 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// healthz reports liveness plus the occupancy numbers an operator (or
-// load balancer) wants at a glance.
+// HealthInfo is the GET /healthz body: liveness plus the occupancy
+// numbers an operator (or load balancer) wants at a glance.
+type HealthInfo struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	Running       int64   `json:"running"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+}
+
+// OK reports whether the server is accepting work (not draining).
+func (h HealthInfo) OK() bool { return h.Status == "ok" }
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
@@ -198,14 +272,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, struct {
-		Status        string  `json:"status"`
-		UptimeSeconds float64 `json:"uptime_seconds"`
-		Workers       int     `json:"workers"`
-		Running       int64   `json:"running"`
-		QueueDepth    int     `json:"queue_depth"`
-		QueueCapacity int     `json:"queue_capacity"`
-	}{
+	writeJSON(w, code, HealthInfo{
 		Status:        status,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.cfg.Workers,

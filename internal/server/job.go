@@ -1,15 +1,19 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"edm"
 	"edm/internal/cluster"
+	"edm/internal/snapshot"
 	"edm/internal/telemetry"
 	"edm/internal/trace"
 )
@@ -61,12 +65,40 @@ type RunRequest struct {
 	// TimeoutS caps the job's wall-clock execution in seconds; 0 defers
 	// to the server's -job-timeout (the smaller of the two wins).
 	TimeoutS float64 `json:"timeout_s,omitempty"`
+	// CheckpointEvery overrides the server's checkpoint cadence (fired
+	// simulation events) for this job. 0 takes the server default; the
+	// resolved cadence is never 0 — every job keeps a latest digest-
+	// sealed frame for GET/POST /v1/runs/{id}/checkpoint.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	// Resume, when set, carries a checkpoint frame stream (base64 over
+	// the wire) and the job continues that run instead of starting one:
+	// the spec embedded in the newest frame rebuilds the simulation,
+	// which is fast-forwarded and verified against the sealed state
+	// before running to completion. Workload and the other spec fields
+	// are ignored when Resume is set.
+	Resume []byte `json:"resume,omitempty"`
 }
 
 // Spec validates the request and converts it to an edm.Spec. The
 // returned error wraps edm.ErrUnknownWorkload for bad workload names,
-// so the HTTP layer can map it to 400.
+// so the HTTP layer can map it to 400. A resume request is validated
+// by decoding its newest frame; the frame's embedded spec is returned
+// (so status views show what is actually running).
 func (r RunRequest) Spec() (edm.Spec, error) {
+	if r.TimeoutS < 0 {
+		return edm.Spec{}, fmt.Errorf("server: negative timeout_s %v", r.TimeoutS)
+	}
+	if len(r.Resume) > 0 {
+		snap, err := snapshot.ReadLast(bytes.NewReader(r.Resume))
+		if err != nil {
+			return edm.Spec{}, fmt.Errorf("server: bad resume data: %w", err)
+		}
+		var spec edm.Spec
+		if err := json.Unmarshal(snap.SpecJSON, &spec); err != nil {
+			return edm.Spec{}, fmt.Errorf("server: bad resume spec: %w", err)
+		}
+		return spec, nil
+	}
 	spec := edm.Spec{
 		Workload:       r.Workload,
 		Scale:          r.Scale,
@@ -94,9 +126,6 @@ func (r RunRequest) Spec() (edm.Spec, error) {
 	}
 	if spec.OSDs == 0 {
 		spec.OSDs = 16
-	}
-	if r.TimeoutS < 0 {
-		return edm.Spec{}, fmt.Errorf("server: negative timeout_s %v", r.TimeoutS)
 	}
 	if r.Policy != "" {
 		p, err := edm.ParsePolicy(r.Policy)
@@ -133,6 +162,20 @@ type job struct {
 	// goroutine and read by status/stream handlers — hence atomic.
 	completedOps atomic.Int64
 
+	// trigger requests out-of-band checkpoints of the running
+	// simulation (POST /v1/runs/{id}/checkpoint).
+	trigger edm.CheckpointTrigger
+
+	// ckMu guards the latest checkpoint frame. ckCh is replaced (and
+	// the old one closed) on every new frame, so checkpoint waiters
+	// block on a channel instead of polling. ckptPath, when non-empty,
+	// appends every frame to the server's state dir for crash recovery.
+	ckMu     sync.Mutex
+	ckFrame  []byte
+	ckCh     chan struct{}
+	ckptPath string
+	reqPath  string
+
 	mu        sync.Mutex
 	state     State
 	err       string
@@ -156,7 +199,50 @@ func newJob(id string, req RunRequest, spec edm.Spec) *job {
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
+		ckCh:      make(chan struct{}),
 	}
+}
+
+// frameWriter adapts the job to edm.WithCheckpoint: every frame
+// arrives as exactly one Write call, so each call replaces the job's
+// latest frame, wakes checkpoint waiters, and (when the server keeps
+// state on disk) appends the frame to the job's .ckpt file.
+type frameWriter struct{ j *job }
+
+func (w frameWriter) Write(p []byte) (int, error) {
+	j := w.j
+	j.ckMu.Lock()
+	j.ckFrame = append(j.ckFrame[:0], p...)
+	close(j.ckCh)
+	j.ckCh = make(chan struct{})
+	path := j.ckptPath
+	j.ckMu.Unlock()
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := f.Write(p); err != nil {
+			f.Close()
+			return 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, err
+		}
+	}
+	return len(p), nil
+}
+
+// checkpoint returns the job's newest frame (a copy) and a channel
+// that is closed when a newer frame lands.
+func (j *job) checkpoint() ([]byte, <-chan struct{}) {
+	j.ckMu.Lock()
+	defer j.ckMu.Unlock()
+	var frame []byte
+	if len(j.ckFrame) > 0 {
+		frame = append([]byte(nil), j.ckFrame...)
+	}
+	return frame, j.ckCh
 }
 
 // begin transitions queued → running and installs the cancel handle.

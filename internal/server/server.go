@@ -24,17 +24,24 @@
 package server
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"edm"
 	"edm/internal/sim"
+	"edm/internal/snapshot"
 	"edm/internal/telemetry"
 )
 
@@ -72,6 +79,18 @@ type Config struct {
 	// emitted as integer seconds per RFC 9110 §10.2.3 (default 1s;
 	// sub-second values round up to 1).
 	RetryAfter time.Duration
+	// CheckpointEvery is the default checkpoint cadence (fired
+	// simulation events) for jobs that do not set checkpoint_every
+	// (default edm.DefaultCheckpointEvery). Every job checkpoints: the
+	// latest digest-sealed frame backs the checkpoint endpoints and,
+	// with StateDir, crash recovery.
+	CheckpointEvery uint64
+	// StateDir, when non-empty, persists each unfinished job — its
+	// request as <id>.req and its checkpoint frames as <id>.ckpt — and
+	// New resubmits whatever it finds there, resuming from the newest
+	// complete frame. Completed and failed jobs are cleaned up;
+	// cancelled and crashed ones are re-run on restart.
+	StateDir string
 }
 
 func (c *Config) applyDefaults() {
@@ -86,6 +105,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = edm.DefaultCheckpointEvery
 	}
 }
 
@@ -127,6 +149,7 @@ type Server struct {
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
+	recovered atomic.Uint64
 	running   atomic.Int64
 
 	reg *telemetry.Registry
@@ -145,11 +168,99 @@ func New(cfg Config) *Server {
 		jobs:       make(map[string]*job),
 	}
 	s.reg = s.buildRegistry()
+	s.recoverState()
 	for i := 0; i < cfg.Workers; i++ {
 		s.workers.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// recoverState resubmits the unfinished jobs a previous process left in
+// StateDir: each <id>.req is re-admitted under its original id, resumed
+// from the newest complete frame in <id>.ckpt when one exists. Runs
+// before the worker pool starts, so recovered jobs keep submission
+// order. Recovery is capped at the queue capacity; any surplus stays on
+// disk for the next restart.
+func (s *Server) recoverState() {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	_ = os.MkdirAll(s.cfg.StateDir, 0o755)
+	names, err := filepath.Glob(filepath.Join(s.cfg.StateDir, "run-*.req"))
+	if err != nil {
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if len(s.queue) == cap(s.queue) {
+			return
+		}
+		id := strings.TrimSuffix(filepath.Base(name), ".req")
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			continue
+		}
+		var req RunRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			_ = os.Remove(name) // undecodable: drop, or it wedges every restart
+			continue
+		}
+		if ck, err := os.ReadFile(filepath.Join(s.cfg.StateDir, id+".ckpt")); err == nil {
+			if _, err := snapshot.ReadLast(bytes.NewReader(ck)); err == nil {
+				req.Resume = ck
+			}
+		}
+		spec, err := req.Spec()
+		if err != nil {
+			_ = os.Remove(name)
+			continue
+		}
+		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "run-"), 10, 64); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		j := newJob(id, req, spec)
+		s.bindState(j)
+		s.queue <- j
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		s.accepted.Add(1)
+		s.recovered.Add(1)
+	}
+}
+
+// Recovered reports how many interrupted jobs New re-admitted from
+// Config.StateDir.
+func (s *Server) Recovered() uint64 { return s.recovered.Load() }
+
+// bindState points the job at its persistence files and writes the
+// request file. No-op without a StateDir.
+func (s *Server) bindState(j *job) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	j.reqPath = filepath.Join(s.cfg.StateDir, j.id+".req")
+	j.ckptPath = filepath.Join(s.cfg.StateDir, j.id+".ckpt")
+	if raw, err := json.Marshal(j.req); err == nil {
+		_ = os.WriteFile(j.reqPath, raw, 0o644)
+	}
+}
+
+// clearState removes a finished job's persistence files. Cancelled jobs
+// keep theirs: cancellation here is usually a drain deadline, and the
+// next process should pick the job back up.
+func (s *Server) clearState(j *job) {
+	if j.reqPath == "" {
+		return
+	}
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	if state != StateDone && state != StateFailed {
+		return
+	}
+	_ = os.Remove(j.reqPath)
+	_ = os.Remove(j.ckptPath)
 }
 
 // buildRegistry wires the serving counters into the shared telemetry
@@ -162,6 +273,7 @@ func (s *Server) buildRegistry() *telemetry.Registry {
 	reg.Gauge("jobs_completed_total", func(sim.Time) float64 { return float64(s.completed.Load()) })
 	reg.Gauge("jobs_failed_total", func(sim.Time) float64 { return float64(s.failed.Load()) })
 	reg.Gauge("jobs_cancelled_total", func(sim.Time) float64 { return float64(s.cancelled.Load()) })
+	reg.Gauge("jobs_recovered_total", func(sim.Time) float64 { return float64(s.recovered.Load()) })
 	reg.Gauge("jobs_running", func(sim.Time) float64 { return float64(s.running.Load()) })
 	reg.Gauge("queue_depth", func(sim.Time) float64 { return float64(len(s.queue)) })
 	reg.Gauge("queue_capacity", func(sim.Time) float64 { return float64(cap(s.queue)) })
@@ -192,6 +304,7 @@ func (s *Server) Submit(req RunRequest) (JobStatus, error) {
 		s.rejected.Add(1)
 		return JobStatus{}, ErrQueueFull
 	}
+	s.bindState(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.accepted.Add(1)
@@ -231,6 +344,7 @@ func (s *Server) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
 		s.runJob(j)
+		s.clearState(j)
 	}
 }
 
@@ -252,11 +366,28 @@ func (s *Server) runJob(j *job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
 
-	spec := j.spec
-	// The recorder is observational only: a recorded run stays
-	// byte-identical to an unrecorded one (the e2e test pins this).
-	spec.Cluster.Recorder = progressRecorder{n: &j.completedOps}
-	res, err := edm.RunContext(ctx, spec)
+	every := j.req.CheckpointEvery
+	if every == 0 {
+		every = s.cfg.CheckpointEvery
+	}
+	// The recorder and the checkpoint capture are both observational: a
+	// recorded, checkpointed run stays byte-identical to a bare one (the
+	// e2e test pins this).
+	opts := []edm.RunOption{
+		edm.WithTelemetry(progressRecorder{n: &j.completedOps}),
+		edm.WithCheckpoint(frameWriter{j}, every),
+		edm.WithCheckpointTrigger(&j.trigger),
+	}
+	var res *edm.Result
+	var err error
+	if len(j.req.Resume) > 0 {
+		if j.req.Check {
+			opts = append(opts, edm.WithCheck())
+		}
+		res, err = edm.Resume(ctx, bytes.NewReader(j.req.Resume), opts...)
+	} else {
+		res, err = edm.Run(ctx, j.spec, opts...)
+	}
 	j.finish(res, err)
 	switch {
 	case err == nil:

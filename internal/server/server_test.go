@@ -28,7 +28,10 @@ func slowReq() RunRequest {
 	return RunRequest{Workload: "home02", Scale: 2, OSDs: 16, Seed: 3}
 }
 
-func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+// newTestServer stands up a server plus the typed Client the rest of
+// the suite drives it with — the same client edmctl uses, so the e2e
+// tests double as the client's contract tests.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *Client) {
 	t.Helper()
 	if cfg.StreamInterval == 0 {
 		cfg.StreamInterval = 10 * time.Millisecond
@@ -41,7 +44,7 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 		defer cancel()
 		_ = s.Shutdown(ctx)
 	})
-	return s, ts
+	return s, ts, NewClient(ts.URL, ts.Client())
 }
 
 func submit(t *testing.T, ts *httptest.Server, req RunRequest) (JobStatus, *http.Response) {
@@ -64,34 +67,23 @@ func submit(t *testing.T, ts *httptest.Server, req RunRequest) (JobStatus, *http
 	return st, resp
 }
 
-// getStatus fetches one job's status view.
-func getStatus(t *testing.T, ts *httptest.Server, id string) (JobStatus, json.RawMessage) {
+// getStatus fetches one job's view through the typed client.
+func getStatus(t *testing.T, c *Client, id string) (JobStatus, *edm.Result) {
 	t.Helper()
-	resp, err := http.Get(ts.URL + "/v1/runs/" + id)
+	view, err := c.Status(context.Background(), id)
 	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /v1/runs/%s: status %d", id, resp.StatusCode)
-	}
-	var view struct {
-		JobStatus
-		Result json.RawMessage `json:"result,omitempty"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-		t.Fatal(err)
+		t.Fatalf("Status(%s): %v", id, err)
 	}
 	return view.JobStatus, view.Result
 }
 
 // waitState polls until the job reaches want (or any terminal state if
 // want is empty), failing the test on timeout.
-func waitState(t *testing.T, ts *httptest.Server, id string, want State, timeout time.Duration) JobStatus {
+func waitState(t *testing.T, c *Client, id string, want State, timeout time.Duration) JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
-		st, _ := getStatus(t, ts, id)
+		st, _ := getStatus(t, c, id)
 		if st.State == want || (want == "" && st.State.Terminal()) {
 			return st
 		}
@@ -105,11 +97,11 @@ func waitState(t *testing.T, ts *httptest.Server, id string, want State, timeout
 // waitProgress polls until the job's engine is demonstrably replaying
 // (completed_ops > 0) — "running" alone can still mean trace generation
 // or warm-up, which only observe cancellation at phase boundaries.
-func waitProgress(t *testing.T, ts *httptest.Server, id string, timeout time.Duration) JobStatus {
+func waitProgress(t *testing.T, c *Client, id string, timeout time.Duration) JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
-		st, _ := getStatus(t, ts, id)
+		st, _ := getStatus(t, c, id)
 		if st.State == StateRunning && st.CompletedOps > 0 {
 			return st
 		}
@@ -127,7 +119,7 @@ func waitProgress(t *testing.T, ts *httptest.Server, id string, timeout time.Dur
 // the serving layer (queue, worker, context, progress recorder) must
 // not perturb the simulation.
 func TestEndToEndStreamMatchesDirectRun(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	_, ts, c := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
 	req := fastReq()
 
 	st, resp := submit(t, ts, req)
@@ -195,7 +187,7 @@ func TestEndToEndStreamMatchesDirectRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := edm.Run(spec)
+	direct, err := edm.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,11 +200,15 @@ func TestEndToEndStreamMatchesDirectRun(t *testing.T) {
 	}
 
 	// The snapshot endpoint must agree with the stream.
-	st2, res := getStatus(t, ts, st.ID)
+	st2, res := getStatus(t, c, st.ID)
 	if st2.State != StateDone {
 		t.Errorf("GET status after done = %q", st2.State)
 	}
-	if !bytes.Equal(bytes.TrimSpace(res), bytes.TrimSpace(want)) {
+	got, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(want)) {
 		t.Errorf("snapshot result differs from direct edm.Run")
 	}
 }
@@ -222,12 +218,12 @@ func TestEndToEndStreamMatchesDirectRun(t *testing.T) {
 // context.Canceled promptly — far sooner than the multi-second run
 // would take to finish.
 func TestCancelRunningJob(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 	st, resp := submit(t, ts, slowReq())
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("submit: status %d", resp.StatusCode)
 	}
-	waitProgress(t, ts, st.ID, 30*time.Second)
+	waitProgress(t, c, st.ID, 30*time.Second)
 
 	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+st.ID, nil)
 	t0 := time.Now()
@@ -242,7 +238,7 @@ func TestCancelRunningJob(t *testing.T) {
 
 	// The replay takes seconds uncancelled; one engine check interval
 	// is sub-millisecond. A generous 2s bound still proves promptness.
-	final := waitState(t, ts, st.ID, "", 2*time.Second)
+	final := waitState(t, c, st.ID, "", 2*time.Second)
 	if final.State != StateCancelled {
 		t.Fatalf("final state = %q, want cancelled", final.State)
 	}
@@ -257,9 +253,9 @@ func TestCancelRunningJob(t *testing.T) {
 // TestCancelQueuedJob: a job cancelled before a worker picks it up goes
 // terminal immediately and never runs.
 func TestCancelQueuedJob(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	_, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 	blocker, _ := submit(t, ts, slowReq())
-	waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+	waitState(t, c, blocker.ID, StateRunning, 5*time.Second)
 	queued, resp := submit(t, ts, fastReq())
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("submit queued job: status %d", resp.StatusCode)
@@ -285,7 +281,7 @@ func TestCancelQueuedJob(t *testing.T) {
 	delResp2, _ := http.DefaultClient.Do(delReq2)
 	delResp2.Body.Close()
 	time.Sleep(50 * time.Millisecond)
-	final, _ := getStatus(t, ts, queued.ID)
+	final, _ := getStatus(t, c, queued.ID)
 	if final.State != StateCancelled || final.StartedAt != nil {
 		t.Errorf("skipped job: state=%q started_at=%v", final.State, final.StartedAt)
 	}
@@ -293,9 +289,9 @@ func TestCancelQueuedJob(t *testing.T) {
 
 // TestQueueFullReturns429 pins the backpressure acceptance criterion.
 func TestQueueFullReturns429(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	_, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	blocker, _ := submit(t, ts, slowReq())
-	waitState(t, ts, blocker.ID, StateRunning, 5*time.Second)
+	waitState(t, c, blocker.ID, StateRunning, 5*time.Second)
 	queued, resp := submit(t, ts, fastReq())
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("filling queue: status %d", resp.StatusCode)
@@ -315,7 +311,7 @@ func TestQueueFullReturns429(t *testing.T) {
 		delResp, _ := http.DefaultClient.Do(delReq)
 		delResp.Body.Close()
 	}
-	waitState(t, ts, blocker.ID, "", 30*time.Second)
+	waitState(t, c, blocker.ID, "", 30*time.Second)
 	if _, resp := submit(t, ts, fastReq()); resp.StatusCode != http.StatusCreated {
 		t.Errorf("submit after drain: status %d, want 201", resp.StatusCode)
 	}
@@ -324,7 +320,7 @@ func TestQueueFullReturns429(t *testing.T) {
 // TestSubmitValidation maps bad requests to 400 with explanatory
 // errors, including the sentinel-backed unknown-workload case.
 func TestSubmitValidation(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	_, ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	cases := []struct {
 		name string
 		body string
@@ -362,7 +358,7 @@ func TestSubmitValidation(t *testing.T) {
 
 // TestUnknownJobIs404 covers status, stream and cancel lookups.
 func TestUnknownJobIs404(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	_, ts, _ := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
 	for _, probe := range []struct{ method, path string }{
 		{http.MethodGet, "/v1/runs/run-99999999"},
 		{http.MethodGet, "/v1/runs/run-99999999/stream"},
@@ -382,11 +378,11 @@ func TestUnknownJobIs404(t *testing.T) {
 
 // TestListAndObservability exercises GET /v1/runs, /healthz, /metricsz.
 func TestListAndObservability(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
+	_, ts, c := newTestServer(t, Config{Workers: 2, QueueDepth: 4})
 	a, _ := submit(t, ts, fastReq())
 	b, _ := submit(t, ts, fastReq())
-	waitState(t, ts, a.ID, StateDone, 5*time.Second)
-	waitState(t, ts, b.ID, StateDone, 5*time.Second)
+	waitState(t, c, a.ID, StateDone, 5*time.Second)
+	waitState(t, c, b.ID, StateDone, 5*time.Second)
 
 	resp, err := http.Get(ts.URL + "/v1/runs")
 	if err != nil {
@@ -447,7 +443,7 @@ func TestListAndObservability(t *testing.T) {
 // TestShutdownDrains: a graceful shutdown finishes queued work, then
 // refuses new submissions with ErrShuttingDown (503 over HTTP).
 func TestShutdownDrains(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	s, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 	a, _ := submit(t, ts, fastReq())
 	b, _ := submit(t, ts, fastReq())
 
@@ -455,7 +451,7 @@ func TestShutdownDrains(t *testing.T) {
 		t.Fatalf("Shutdown: %v", err)
 	}
 	for _, id := range []string{a.ID, b.ID} {
-		st, _ := getStatus(t, ts, id)
+		st, _ := getStatus(t, c, id)
 		if st.State != StateDone {
 			t.Errorf("job %s after drain: state %q, want done", id, st.State)
 		}
@@ -479,16 +475,16 @@ func TestShutdownDrains(t *testing.T) {
 // in-flight run's context is cancelled and Shutdown still returns with
 // all workers stopped.
 func TestShutdownDeadlineForceCancels(t *testing.T) {
-	s, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
+	s, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 4})
 	st, _ := submit(t, ts, slowReq())
-	waitProgress(t, ts, st.ID, 30*time.Second)
+	waitProgress(t, c, st.ID, 30*time.Second)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
 	defer cancel()
 	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("Shutdown = %v, want deadline exceeded", err)
 	}
-	final, _ := getStatus(t, ts, st.ID)
+	final, _ := getStatus(t, c, st.ID)
 	if final.State != StateCancelled {
 		t.Errorf("in-flight job after forced shutdown: state %q, want cancelled", final.State)
 	}
@@ -502,17 +498,18 @@ func TestNoGoroutineLeaks(t *testing.T) {
 
 	s := New(Config{Workers: 2, QueueDepth: 4, StreamInterval: 10 * time.Millisecond})
 	ts := httptest.NewServer(s.Handler())
+	c := NewClient(ts.URL, nil)
 	done, _ := submit(t, ts, fastReq())
 	slow, _ := submit(t, ts, slowReq())
-	waitState(t, ts, done.ID, StateDone, 5*time.Second)
-	waitProgress(t, ts, slow.ID, 30*time.Second)
+	waitState(t, c, done.ID, StateDone, 5*time.Second)
+	waitProgress(t, c, slow.ID, 30*time.Second)
 	delReq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+slow.ID, nil)
 	delResp, err := http.DefaultClient.Do(delReq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	delResp.Body.Close()
-	waitState(t, ts, slow.ID, "", 2*time.Second)
+	waitState(t, c, slow.ID, "", 2*time.Second)
 	if err := s.Shutdown(context.Background()); err != nil {
 		t.Fatalf("Shutdown: %v", err)
 	}

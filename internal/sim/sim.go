@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 )
 
@@ -113,6 +114,12 @@ type Engine struct {
 	seq     uint64
 	fired   uint64
 	running bool
+
+	// Checkpoint hook (SetCheckpoint): fn runs between events after
+	// every ckEvery fired events. Zero/nil disables it, and the
+	// no-hook run loops stay branch-free.
+	ckEvery uint64
+	ckFn    func(now Time) error
 }
 
 // New returns an engine with the clock at zero and an empty queue.
@@ -127,6 +134,53 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events waiting in the queue. Cancelled
 // events are removed eagerly and never counted.
 func (e *Engine) Pending() int { return len(e.heap) }
+
+// Seq returns the next schedule sequence number — together with Now and
+// Fired it pins the engine's replay position for state capture.
+func (e *Engine) Seq() uint64 { return e.seq }
+
+// QueueEntry is the exportable shape of one pending event: its firing
+// instant and FIFO sequence number. The callback itself is deliberately
+// absent — closures and pooled Actions are not serializable, which is
+// why checkpoint restore replays rather than deserializes (see
+// internal/snapshot).
+type QueueEntry struct {
+	At  Time
+	Seq uint64
+}
+
+// AppendQueue appends every pending event's (at, seq) pair to dst in
+// deterministic (at, seq) order and returns the extended slice. It is
+// read-only: the heap is not disturbed, so capturing the queue cannot
+// perturb the run being captured.
+func (e *Engine) AppendQueue(dst []QueueEntry) []QueueEntry {
+	base := len(dst)
+	for _, id := range e.heap {
+		s := &e.slots[id]
+		dst = append(dst, QueueEntry{At: s.at, Seq: s.seq})
+	}
+	tail := dst[base:]
+	sort.Slice(tail, func(i, j int) bool {
+		if tail[i].At != tail[j].At {
+			return tail[i].At < tail[j].At
+		}
+		return tail[i].Seq < tail[j].Seq
+	})
+	return dst
+}
+
+// SetCheckpoint installs fn to run between events, after every `every`
+// fired events (i.e. whenever fired%every == 0). The hook is honoured
+// by RunContext and RunContextFired; a hook error stops the run and is
+// returned wrapped. every == 0 or fn == nil removes the hook. The hook
+// must not mutate simulation state — it exists for state capture.
+func (e *Engine) SetCheckpoint(every uint64, fn func(now Time) error) {
+	if every == 0 || fn == nil {
+		e.ckEvery, e.ckFn = 0, nil
+		return
+	}
+	e.ckEvery, e.ckFn = every, fn
+}
 
 // alloc reserves a slot for an event at the given instant and links it
 // into the heap.

@@ -1,0 +1,52 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"edm/internal/cluster"
+)
+
+// FuzzSnapshot hardens the frame decoder against arbitrary input: it
+// must never panic, and any frame it accepts must re-encode to the
+// same payload (accept implies well-formed). The seed corpus holds a
+// genuine frame plus header-level mutants; testdata/fuzz checks in
+// hand-written edge cases.
+func FuzzSnapshot(f *testing.F) {
+	tr := tinyTrace(f, 1)
+	cl, err := cluster.New(testConfig(4), tr)
+	if err != nil {
+		f.Fatal(err)
+	}
+	frame, err := Capture(cl, json.RawMessage(`{"Workload":"home02"}`), nil).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame)
+	f.Add(frame[:headerSize])
+	f.Add(frame[:len(frame)-1])
+	short := append([]byte{}, frame...)
+	short[12] = 1 // lie about the payload length
+	f.Add(short)
+	f.Add([]byte("EDMSNAP1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		re, err := s.Encode()
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		s2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if s2.Fired != s.Fired || s2.Now != s.Now || !bytes.Equal(s2.SpecJSON, s.SpecJSON) {
+			t.Fatal("decode/encode/decode changed the snapshot")
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package edm
 
 import (
+	"context"
 	"encoding/json"
 	"reflect"
 	"strings"
@@ -35,11 +36,11 @@ func TestSpecJSONRoundTripDrivesIdenticalRun(t *testing.T) {
 				t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v\njson: %s", spec, decoded, b)
 			}
 
-			want, err := Run(spec)
+			want, err := Run(context.Background(), spec)
 			if err != nil {
 				t.Fatalf("run original: %v", err)
 			}
-			got, err := Run(decoded)
+			got, err := Run(context.Background(), decoded)
 			if err != nil {
 				t.Fatalf("run decoded: %v", err)
 			}
