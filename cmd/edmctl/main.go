@@ -79,6 +79,8 @@ func sweep(args []string) {
 		poll        = fs.Duration("poll", 100*time.Millisecond, "job status poll cadence")
 		noLocal     = fs.Bool("no-local-fallback", false, "fail cells instead of running them locally when the fleet is down")
 		ckEvery     = fs.Uint64("checkpoint-every", 0, "checkpoint cadence in fired events; >0 stashes frames so a dead worker's cell resumes instead of restarting (0 disables)")
+		priority    = fs.String("priority", "batch", "scheduling class for every cell: batch, normal or interactive (sweeps default to batch so interactive work can preempt them)")
+		tenant      = fs.String("tenant", "", "fair-share tenant the sweep's cells are accounted to (empty: the worker default)")
 		quiet       = fs.Bool("quiet", false, "suppress the dispatch summary and progress lines on stderr")
 	)
 	_ = fs.Parse(args)
@@ -120,7 +122,7 @@ func sweep(args []string) {
 	}
 	pool := dispatch.New(dispatch.Config{
 		Workers:         parseWorkers(*workersFlag),
-		Client:          dispatch.ClientConfig{PollInterval: *poll},
+		Client:          dispatch.ClientConfig{PollInterval: *poll, Priority: *priority, Tenant: *tenant},
 		Slots:           *slots,
 		MaxLaunches:     *maxLaunches,
 		HedgeAfter:      *hedgeAfter,

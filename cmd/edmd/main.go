@@ -1,8 +1,13 @@
 // Command edmd serves EDM simulation runs over HTTP.
 //
 // Runs are submitted as jobs, executed on a bounded worker pool behind
-// a fixed-depth admission queue, and observed by polling or by NDJSON
-// streaming. A full queue pushes back with 429 + Retry-After; SIGINT or
+// a priority-aware admission queue, and observed by polling or by
+// NDJSON streaming. Jobs may carry a priority class (batch, normal,
+// interactive) and a tenant for weighted fair-share; when every worker
+// is busy, an interactive arrival preempts the youngest lowest-class
+// running job through an immediate checkpoint and the victim resumes
+// transparently from its frame. A full queue pushes back with 429 +
+// Retry-After derived from the live queue-wait estimate; SIGINT or
 // SIGTERM drains in-flight jobs before exiting, force-cancelling them
 // if the drain deadline passes.
 //
@@ -40,6 +45,10 @@ func main() {
 		"directory for crash-recovery state; jobs interrupted by a restart are re-admitted and resumed from their newest checkpoint (empty: no persistence)")
 	checkpointEvery := flag.Uint64("checkpoint-every", 0,
 		"default checkpoint cadence in fired simulation events for jobs that do not set their own (0: server default)")
+	preemptGrace := flag.Duration("preempt-grace", 0,
+		"how long a preempted job gets to checkpoint before it is cancelled outright (0: server default, 3s)")
+	shedFraction := flag.Float64("shed-fraction", 0,
+		"queue-fill fraction above which batch submissions are shed with 429 (0: server default 0.75; >=1 disables shedding)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "edmd: unexpected argument %q\n", flag.Arg(0))
@@ -53,6 +62,8 @@ func main() {
 		JobTimeout:      *jobTimeout,
 		StateDir:        *stateDir,
 		CheckpointEvery: *checkpointEvery,
+		PreemptGrace:    *preemptGrace,
+		ShedFraction:    *shedFraction,
 	})
 	if n := srv.Recovered(); n > 0 {
 		log.Printf("edmd: recovered %d interrupted job(s) from %s", n, *stateDir)

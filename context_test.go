@@ -21,17 +21,17 @@ func slowSpec() Spec {
 		Cluster: cluster.Config{WarmupDisabled: true}}
 }
 
-// TestRunContextMatchesRun: a completed context run must be
+// TestRunWithContextMatchesRun: a completed context run must be
 // byte-identical (as JSON) to Run on the same spec and seed — the
 // cancellation plumbing may not perturb the simulation.
-func TestRunContextMatchesRun(t *testing.T) {
+func TestRunWithContextMatchesRun(t *testing.T) {
 	direct, err := Run(context.Background(), quickSpec(PolicyHDF))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	viaCtx, err := RunContext(ctx, quickSpec(PolicyHDF))
+	viaCtx, err := Run(ctx, quickSpec(PolicyHDF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,20 +44,20 @@ func TestRunContextMatchesRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	if string(a) != string(b) {
-		t.Errorf("RunContext result differs from Run:\n Run:        %.200s\n RunContext: %.200s", a, b)
+		t.Errorf("run under live context differs from background run:\n background: %.200s\n live ctx:   %.200s", a, b)
 	}
 }
 
-// TestRunContextCancelMidRun: cancelling during the replay returns
+// TestRunCancelMidRun: cancelling during the replay returns
 // promptly with an error wrapping context.Canceled and a nil result.
-func TestRunContextCancelMidRun(t *testing.T) {
+func TestRunCancelMidRun(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(50 * time.Millisecond)
 		cancel()
 	}()
 	t0 := time.Now()
-	res, err := RunContext(ctx, slowSpec())
+	res, err := Run(ctx, slowSpec())
 	elapsed := time.Since(t0)
 	if res != nil {
 		t.Errorf("cancelled run returned a result: %+v", res)
@@ -74,24 +74,24 @@ func TestRunContextCancelMidRun(t *testing.T) {
 	}
 }
 
-// TestRunContextDeadline: an expired deadline surfaces as
+// TestRunDeadline: an expired deadline surfaces as
 // context.DeadlineExceeded through the same path.
-func TestRunContextDeadline(t *testing.T) {
+func TestRunDeadline(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
-	_, err := RunContext(ctx, slowSpec())
+	_, err := Run(ctx, slowSpec())
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("timed-out run error = %v, want wrapping context.DeadlineExceeded", err)
 	}
 }
 
-// TestRunContextPreCancelled: a dead context fails fast, before any
+// TestRunPreCancelled: a dead context fails fast, before any
 // trace generation or cluster construction.
-func TestRunContextPreCancelled(t *testing.T) {
+func TestRunPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	t0 := time.Now()
-	res, err := RunContext(ctx, slowSpec())
+	res, err := Run(ctx, slowSpec())
 	if res != nil || !errors.Is(err, context.Canceled) {
 		t.Fatalf("pre-cancelled run = (%v, %v)", res, err)
 	}
@@ -100,9 +100,9 @@ func TestRunContextPreCancelled(t *testing.T) {
 	}
 }
 
-// TestRunContextNoGoroutineLeaks: a burst of concurrent cancelled and
+// TestRunNoGoroutineLeaks: a burst of concurrent cancelled and
 // completed runs leaves the goroutine count where it started.
-func TestRunContextNoGoroutineLeaks(t *testing.T) {
+func TestRunNoGoroutineLeaks(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	var wg sync.WaitGroup
@@ -117,10 +117,10 @@ func TestRunContextNoGoroutineLeaks(t *testing.T) {
 					time.Sleep(10 * time.Millisecond)
 					cancel()
 				}()
-				_, _ = RunContext(ctx, slowSpec())
+				_, _ = Run(ctx, slowSpec())
 				return
 			}
-			if _, err := RunContext(ctx, quickSpec(PolicyBaseline)); err != nil {
+			if _, err := Run(ctx, quickSpec(PolicyBaseline)); err != nil {
 				t.Errorf("completed run: %v", err)
 			}
 		}(i%2 == 0)

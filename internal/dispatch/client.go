@@ -37,6 +37,14 @@ type ClientConfig struct {
 	// PollInterval is the job-status polling cadence while a submitted
 	// run executes (default 100ms).
 	PollInterval time.Duration
+	// Priority is the scheduling class stamped on every cell this
+	// client submits ("batch", "normal" or "interactive"; empty leaves
+	// the worker's default, normal). Sweeps typically run "batch" so
+	// ad-hoc interactive work can preempt them.
+	Priority string
+	// Tenant is the fair-share accounting identity stamped on every
+	// cell this client submits (empty: the worker's default tenant).
+	Tenant string
 	// FaultHook, when non-nil, is consulted before every HTTP attempt
 	// (including retries) with the request's method and path. It exists
 	// for fault-injection tests: a Drop verdict makes the attempt fail
@@ -247,7 +255,7 @@ func (c *Client) run(ctx context.Context, req server.RunRequest, onFrame func([]
 // simulation experiment.RunCell would run locally — the request
 // carries every field of the spec and nothing else.
 func (c *Client) RunCell(ctx context.Context, spec experiment.CellSpec) (*edm.Result, error) {
-	return c.Run(ctx, RequestForCell(spec))
+	return c.Run(ctx, c.cellRequest(spec))
 }
 
 // RunCellResumable executes one cell with checkpoint stashing: the
@@ -258,10 +266,21 @@ func (c *Client) RunCell(ctx context.Context, spec experiment.CellSpec) (*edm.Re
 // sealed state, and finishes with bytes identical to an uninterrupted
 // run.
 func (c *Client) RunCellResumable(ctx context.Context, spec experiment.CellSpec, every uint64, resume []byte, onFrame func([]byte)) (*edm.Result, error) {
-	req := RequestForCell(spec)
+	req := c.cellRequest(spec)
 	req.CheckpointEvery = every
 	req.Resume = resume
 	return c.run(ctx, req, onFrame)
+}
+
+// cellRequest is RequestForCell plus the client's scheduling identity:
+// the configured priority class and tenant ride along on every cell
+// submission without becoming part of the spec (they change where and
+// when the cell runs, never what it computes).
+func (c *Client) cellRequest(spec experiment.CellSpec) server.RunRequest {
+	req := RequestForCell(spec)
+	req.Priority = c.cfg.Priority
+	req.Tenant = c.cfg.Tenant
+	return req
 }
 
 // RequestForCell converts a cell spec to the wire request an edmd
@@ -403,15 +422,26 @@ func retryAfter(resp *http.Response) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// apiErrorText extracts the server's JSON error message, falling back
-// to the raw body.
+// apiErrorText extracts the server's error-envelope message
+// ({"code","message",...}, prefixed with the code when present),
+// accepting the legacy {"error": ...} shape and falling back to the
+// raw body for proxy-generated text.
 func apiErrorText(r io.Reader) string {
 	raw, _ := io.ReadAll(io.LimitReader(r, 4<<10))
 	var e struct {
-		Error string `json:"error"`
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Error   string `json:"error"`
 	}
-	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-		return e.Error
+	if json.Unmarshal(raw, &e) == nil {
+		switch {
+		case e.Code != "" && e.Message != "":
+			return e.Code + ": " + e.Message
+		case e.Message != "":
+			return e.Message
+		case e.Error != "":
+			return e.Error
+		}
 	}
 	return strings.TrimSpace(string(raw))
 }

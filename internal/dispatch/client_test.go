@@ -219,6 +219,66 @@ func TestRunReportsFailedJobAsRunFailed(t *testing.T) {
 	}
 }
 
+// TestCellSubmitCarriesSchedulingIdentity pins the priority/tenant
+// passthrough: a client configured with a scheduling class and tenant
+// stamps them on every cell submission's wire body, while the spec
+// mapping itself (RequestForCell) stays identity-free.
+func TestCellSubmitCarriesSchedulingIdentity(t *testing.T) {
+	spec := fakeSpec("prio")
+	if req := RequestForCell(spec); req.Priority != "" || req.Tenant != "" {
+		t.Fatalf("RequestForCell carries scheduling identity: %+v", req)
+	}
+
+	var got server.RunRequest
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", func(rw http.ResponseWriter, r *http.Request) {
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			t.Errorf("decoding submission: %v", err)
+		}
+		rw.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(rw).Encode(server.JobStatus{ID: "j1", State: server.StateQueued})
+	})
+	mux.HandleFunc("GET /v1/runs/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		view := struct {
+			server.JobStatus
+			Result any `json:"result"`
+		}{JobStatus: server.JobStatus{ID: "j1", State: server.StateDone}, Result: fakeResult(got)}
+		json.NewEncoder(rw).Encode(view)
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cfg := fastClient()
+	cfg.BaseURL = ts.URL
+	cfg.Priority = "batch"
+	cfg.Tenant = "sweep-42"
+	if _, err := NewClient(cfg).RunCell(context.Background(), spec); err != nil {
+		t.Fatalf("RunCell: %v", err)
+	}
+	if got.Priority != "batch" || got.Tenant != "sweep-42" {
+		t.Errorf("submission carried priority=%q tenant=%q, want batch/sweep-42", got.Priority, got.Tenant)
+	}
+}
+
+// TestAPIErrorText covers the envelope, legacy and raw-text decode
+// paths of the error extractor.
+func TestAPIErrorText(t *testing.T) {
+	for _, tc := range []struct {
+		body string
+		want string
+	}{
+		{`{"code":"queue_full","message":"queue is full","retry_after_s":2}`, "queue_full: queue is full"},
+		{`{"message":"just a message"}`, "just a message"},
+		{`{"error":"legacy shape"}`, "legacy shape"},
+		{"plain proxy text\n", "plain proxy text"},
+		{`{"unrelated":true}`, `{"unrelated":true}`},
+	} {
+		if got := apiErrorText(strings.NewReader(tc.body)); got != tc.want {
+			t.Errorf("apiErrorText(%q) = %q, want %q", tc.body, got, tc.want)
+		}
+	}
+}
+
 func TestRunEndToEndAgainstFake(t *testing.T) {
 	w := newFakeWorker(newFakeFleet(nil))
 	defer w.kill()

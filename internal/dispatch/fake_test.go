@@ -155,18 +155,18 @@ func (w *fakeWorker) handleSubmit(rw http.ResponseWriter, r *http.Request) {
 	switch w.mode.Load() {
 	case mode500:
 		rw.WriteHeader(http.StatusInternalServerError)
-		json.NewEncoder(rw).Encode(map[string]string{"error": "injected internal error"})
+		json.NewEncoder(rw).Encode(server.ErrorBody{Code: "internal", Message: "injected internal error"})
 		return
 	case mode429:
 		rw.Header().Set("Retry-After", "1")
 		rw.WriteHeader(http.StatusTooManyRequests)
-		json.NewEncoder(rw).Encode(map[string]string{"error": "injected queue full"})
+		json.NewEncoder(rw).Encode(server.ErrorBody{Code: "queue_full", Message: "injected queue full", RetryAfterS: 1})
 		return
 	}
 	var req server.RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		rw.WriteHeader(http.StatusBadRequest)
-		json.NewEncoder(rw).Encode(map[string]string{"error": err.Error()})
+		json.NewEncoder(rw).Encode(server.ErrorBody{Code: "bad_request", Message: err.Error()})
 		return
 	}
 	doneAt, never := w.fleet.accept(w.url(), req.Workload)
@@ -186,7 +186,7 @@ func (w *fakeWorker) handleStatus(rw http.ResponseWriter, r *http.Request) {
 	rw.Header().Set("Content-Type", "application/json")
 	if job == nil {
 		rw.WriteHeader(http.StatusNotFound)
-		json.NewEncoder(rw).Encode(map[string]string{"error": "no such job"})
+		json.NewEncoder(rw).Encode(server.ErrorBody{Code: "not_found", Message: "no such job"})
 		return
 	}
 	view := struct {

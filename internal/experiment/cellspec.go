@@ -17,8 +17,11 @@ import (
 // The JSON encoding is stable (Policy marshals by name via
 // encoding.TextMarshaler), so decode(encode(spec)) is the identity and
 // a spec can cross the wire without changing the run it describes.
+// Field names follow the v1 wire casing of server.RunRequest
+// (DESIGN §5): the trace is "workload" on the wire, and the remaining
+// keys are the same lower-snake names the worker accepts.
 type CellSpec struct {
-	Trace  string  `json:"trace"`
+	Trace  string  `json:"workload"`
 	OSDs   int     `json:"osds"`
 	Policy Policy  `json:"policy"`
 	Scale  int     `json:"scale"`

@@ -65,6 +65,34 @@ func TestCellSpecJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCellSpecWireCasing pins the spec's JSON keys to the v1 wire
+// casing of server.RunRequest (DESIGN §5): the trace field travels as
+// "workload", matching the key edmd accepts, so a spec body and a run
+// request body never disagree on a field's name.
+func TestCellSpecWireCasing(t *testing.T) {
+	b, err := json.Marshal(CellSpec{Trace: "home02", OSDs: 16, Policy: AllPolicies[0],
+		Scale: 20, Seed: 3, Lambda: 0.1, Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(b, &keys); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"workload", "osds", "policy", "scale", "seed", "lambda", "check"}
+	if len(keys) != len(want) {
+		t.Errorf("encoded spec has %d keys (%s), want %d", len(keys), b, len(want))
+	}
+	for _, k := range want {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("encoded spec missing key %q: %s", k, b)
+		}
+	}
+	if _, ok := keys["trace"]; ok {
+		t.Errorf("legacy key \"trace\" still encoded: %s", b)
+	}
+}
+
 // TestRunCellMatchesMatrix pins the distributed sweep's core
 // guarantee: executing a decomposed cell spec (as the local fallback
 // or a worker would) reproduces the exact result the local Matrix

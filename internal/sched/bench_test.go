@@ -1,0 +1,31 @@
+package sched
+
+import (
+	"strconv"
+	"testing"
+)
+
+// BenchmarkSchedSubmit measures one full scheduling cycle — admit,
+// dequeue, finish — across a rotating set of tenants and classes, the
+// shape of edmd's per-request scheduler traffic.
+func BenchmarkSchedSubmit(b *testing.B) {
+	s := New(Config{Workers: 4, QueueDepth: 64, ShedFraction: 1})
+	tenants := []string{"", "a", "b", "c"}
+	classes := Classes()
+	ids := make([]string, 64)
+	for i := range ids {
+		ids[i] = "job-" + strconv.Itoa(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk, err := s.Submit(ids[i%len(ids)], classes[i%len(classes)], tenants[i%len(tenants)], 0, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := s.Next(); got != tk {
+			b.Fatalf("Next = %v, want %v", got, tk)
+		}
+		s.Finish(tk)
+	}
+}

@@ -40,9 +40,13 @@ func NewClient(baseURL string, hc *http.Client) *Client {
 func (c *Client) BaseURL() string { return c.base }
 
 // APIError is a non-2xx response decoded into an error: the status
-// code plus the server's JSON error message.
+// code, the envelope's machine-readable code and message, and the
+// server's retry hint. Unwrap maps Code back onto the server's
+// sentinel, so errors.Is(err, server.ErrQueueFull) holds across the
+// wire exactly as it does in-process.
 type APIError struct {
 	StatusCode int
+	Code       string
 	Message    string
 	RetryAfter time.Duration
 }
@@ -50,6 +54,10 @@ type APIError struct {
 func (e *APIError) Error() string {
 	return fmt.Sprintf("server: HTTP %d: %s", e.StatusCode, e.Message)
 }
+
+// Unwrap exposes the sentinel the envelope's code encodes (nil for
+// codes this client build does not know).
+func (e *APIError) Unwrap() error { return sentinelFor(e.Code) }
 
 // Temporary reports whether the failure is worth retrying (queue full,
 // server error, or shutdown in progress).
@@ -188,16 +196,20 @@ func (c *Client) json(ctx context.Context, method, path string, in, out any) err
 	return nil
 }
 
-// decodeAPIError turns a non-2xx response into an *APIError, carrying
-// the Retry-After hint when the server sent one.
+// decodeAPIError turns a non-2xx response into an *APIError: the
+// ErrorBody envelope's code and message when the body parses (with a
+// raw-text fallback for proxies and panics that bypass the handler),
+// and the retry hint from the Retry-After header or the envelope's
+// retry_after_s, whichever the server sent.
 func decodeAPIError(resp *http.Response) error {
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-	var body apiError
-	msg := strings.TrimSpace(string(raw))
-	if json.Unmarshal(raw, &body) == nil && body.Error != "" {
-		msg = body.Error
+	e := &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	var body ErrorBody
+	if json.Unmarshal(raw, &body) == nil && body.Code != "" {
+		e.Code = body.Code
+		e.Message = body.Message
+		e.RetryAfter = time.Duration(body.RetryAfterS) * time.Second
 	}
-	e := &APIError{StatusCode: resp.StatusCode, Message: msg}
 	if v := resp.Header.Get("Retry-After"); v != "" {
 		if d, err := time.ParseDuration(v + "s"); err == nil {
 			e.RetryAfter = d

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"edm"
+)
+
+// Exported sentinels for every rejection the API can express. The
+// typed client decodes the wire envelope back into these, so
+// errors.Is(err, server.ErrLoadShed) holds on both sides of the HTTP
+// boundary. ErrQueueFull and ErrShuttingDown live in server.go (they
+// predate the envelope); the rest are here with it.
+var (
+	// ErrLoadShed is returned by Submit when a batch job is refused to
+	// preserve queue headroom for higher-priority work (429).
+	ErrLoadShed = errors.New("server: batch work shed under load")
+	// ErrMaxWait is returned by Submit when the scheduler's estimated
+	// queue wait exceeds the request's max_wait_s (429).
+	ErrMaxWait = errors.New("server: estimated queue wait exceeds max_wait_s")
+	// ErrUnknownJob is returned by lookups for ids the server never
+	// issued, or that predate a restart (404).
+	ErrUnknownJob = errors.New("server: unknown job")
+	// ErrCheckpointTimeout is returned when an on-demand checkpoint was
+	// not produced before the client's deadline (408).
+	ErrCheckpointTimeout = errors.New("server: checkpoint not produced before client deadline")
+)
+
+// ErrorBody is the JSON error envelope every non-2xx /v1 response
+// carries: a stable machine-readable code, a human message, and — on
+// backpressure rejections — the server's live retry hint, mirroring
+// the Retry-After header for clients that only read bodies.
+type ErrorBody struct {
+	Code        string `json:"code"`
+	Message     string `json:"message"`
+	RetryAfterS int    `json:"retry_after_s,omitempty"`
+}
+
+// errorCodes is the single source of truth for the code ↔ HTTP status
+// ↔ sentinel mapping. The server walks it to encode (first sentinel
+// the error wraps wins; earlier rows take precedence, so keep the
+// specific rejections above the generic ones), the client walks it to
+// decode. codeBadRequest is the fallback for plain validation errors.
+var errorCodes = []struct {
+	code     string
+	status   int
+	sentinel error
+}{
+	{"queue_full", http.StatusTooManyRequests, ErrQueueFull},
+	{"load_shed", http.StatusTooManyRequests, ErrLoadShed},
+	{"max_wait_exceeded", http.StatusTooManyRequests, ErrMaxWait},
+	{"shutting_down", http.StatusServiceUnavailable, ErrShuttingDown},
+	{"not_found", http.StatusNotFound, ErrUnknownJob},
+	{"checkpoint_timeout", http.StatusRequestTimeout, ErrCheckpointTimeout},
+	{"unknown_workload", http.StatusBadRequest, edm.ErrUnknownWorkload},
+}
+
+const codeBadRequest = "bad_request"
+
+// codeFor maps an error to its envelope code and HTTP status.
+func codeFor(err error) (string, int) {
+	for _, row := range errorCodes {
+		if errors.Is(err, row.sentinel) {
+			return row.code, row.status
+		}
+	}
+	return codeBadRequest, http.StatusBadRequest
+}
+
+// sentinelFor maps a wire code back to the sentinel it encodes, nil
+// for codes this build does not know (forward compatibility: the
+// *APIError still carries code and message verbatim).
+func sentinelFor(code string) error {
+	for _, row := range errorCodes {
+		if row.code == code {
+			return row.sentinel
+		}
+	}
+	return nil
+}
+
+// retryHintError decorates a rejection sentinel with the scheduler's
+// live backoff estimate; the HTTP layer renders it as Retry-After and
+// retry_after_s. Unwrap keeps errors.Is(err, ErrQueueFull) working.
+type retryHintError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryHintError) Error() string {
+	if e.after > 0 {
+		return fmt.Sprintf("%v (retry in ~%s)", e.err, e.after.Round(time.Millisecond))
+	}
+	return e.err.Error()
+}
+
+func (e *retryHintError) Unwrap() error { return e.err }
+
+// withRetryHint attaches a live backoff estimate to err. A zero hint
+// returns err unchanged — the HTTP layer then falls back to the
+// configured static hint.
+func withRetryHint(err error, after time.Duration) error {
+	if after <= 0 {
+		return err
+	}
+	return &retryHintError{err: err, after: after}
+}
+
+// retrySeconds renders the retry hint attached to err — or the
+// configured fallback when none is — as the integer seconds RFC 9110
+// requires in Retry-After, rounded up and clamped to >= 1 ("0"
+// invites a tight retry loop).
+func (s *Server) retrySeconds(err error) int {
+	hint := s.cfg.RetryAfter
+	var rh *retryHintError
+	if errors.As(err, &rh) {
+		hint = rh.after
+	}
+	secs := int((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

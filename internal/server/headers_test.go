@@ -15,8 +15,9 @@ import (
 
 // TestErrorResponseHeaders pins the wire contract fleet clients rely
 // on: every error response carries Content-Type application/json and a
-// decodable {"error": ...} body, and backpressure responses (429, 503)
-// carry Retry-After as integer seconds per RFC 9110.
+// decodable ErrorBody envelope ({"code", "message", "retry_after_s"}),
+// and backpressure responses (429, 503) carry Retry-After as integer
+// seconds per RFC 9110, mirrored by the envelope's retry_after_s.
 func TestErrorResponseHeaders(t *testing.T) {
 	digits := regexp.MustCompile(`^[0-9]+$`)
 	// rawSubmit posts a run request and leaves the response body open
@@ -115,27 +116,84 @@ func TestErrorResponseHeaders(t *testing.T) {
 			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 				t.Errorf("Content-Type = %q, want application/json", ct)
 			}
-			var body struct {
-				Error string `json:"error"`
-			}
+			var body ErrorBody
 			raw, _ := io.ReadAll(resp.Body)
-			if err := json.Unmarshal(raw, &body); err != nil || body.Error == "" {
-				t.Errorf("error body not decodable JSON with non-empty error: %q (%v)", raw, err)
+			if err := json.Unmarshal(raw, &body); err != nil || body.Code == "" || body.Message == "" {
+				t.Errorf("error body not a decodable envelope with code and message: %q (%v)", raw, err)
 			}
 			ra := resp.Header.Get("Retry-After")
 			if tc.retryAfter {
 				if !digits.MatchString(ra) {
 					t.Errorf("Retry-After = %q, want integer seconds", ra)
 				}
-			} else if ra != "" {
-				t.Errorf("unexpected Retry-After %q on %d", ra, tc.wantStatus)
+				if body.RetryAfterS < 1 {
+					t.Errorf("retry_after_s = %d, want >= 1 to mirror the header", body.RetryAfterS)
+				}
+			} else {
+				if ra != "" {
+					t.Errorf("unexpected Retry-After %q on %d", ra, tc.wantStatus)
+				}
+				if body.RetryAfterS != 0 {
+					t.Errorf("unexpected retry_after_s %d on %d", body.RetryAfterS, tc.wantStatus)
+				}
 			}
 		})
 	}
 }
 
-// TestRetryAfterConfigurable pins the header's value: the configured
-// duration, rounded up to whole seconds, never below 1.
+// TestRetryAfterLiveEstimate is the regression test for deriving
+// Retry-After from the scheduler's live queue-wait estimate instead of
+// the static config hint: once the scheduler has runtime observations,
+// a 429 must report the expected slot-free time (half an average run
+// over the worker pool), clamped to >= 1s per RFC 9110, regardless of
+// what the static hint says.
+func TestRetryAfterLiveEstimate(t *testing.T) {
+	// Static hint 7s would be the fallback; the live estimate must win.
+	s, ts, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 7 * time.Second})
+	s.sched.ObserveRun(10 * time.Second) // seed: avg run 10s → slot frees in ~5s
+	blocker, _ := submit(t, ts, slowReq())
+	waitState(t, c, blocker.ID, StateRunning, 5*time.Second)
+	if _, resp := submit(t, ts, fastReq()); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("filling queue: status %d", resp.StatusCode)
+	}
+	rawBody, err := json.Marshal(fastReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json", bytes.NewReader(rawBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Errorf("Retry-After = %q, want %q (live estimate: avg 10s / 2 / 1 worker)", got, "5")
+	}
+	var body ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.RetryAfterS != 5 {
+		t.Errorf("retry_after_s = %d (%v), want 5", body.RetryAfterS, err)
+	}
+
+	// Sub-second live estimates clamp up to 1, never 0.
+	s2, ts2, c2 := newTestServer(t, Config{Workers: 1, QueueDepth: 1, RetryAfter: 7 * time.Second})
+	s2.sched.ObserveRun(200 * time.Millisecond) // slot frees in ~100ms → clamp to 1
+	blocker2, _ := submit(t, ts2, slowReq())
+	waitState(t, c2, blocker2.ID, StateRunning, 5*time.Second)
+	if _, resp := submit(t, ts2, fastReq()); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("filling queue: status %d", resp.StatusCode)
+	}
+	_, resp2 := submit(t, ts2, fastReq())
+	defer resp2.Body.Close()
+	if got := resp2.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want %q (sub-second estimate clamps to 1)", got, "1")
+	}
+}
+
+// TestRetryAfterConfigurable pins the header's fallback value when the
+// scheduler has no runtime observations yet: the configured duration,
+// rounded up to whole seconds, never below 1.
 func TestRetryAfterConfigurable(t *testing.T) {
 	for _, tc := range []struct {
 		cfg  time.Duration

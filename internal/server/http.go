@@ -2,10 +2,10 @@ package server
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"time"
 
 	"edm"
@@ -30,11 +30,6 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// apiError is the JSON error body every non-2xx response carries.
-type apiError struct {
-	Error string `json:"error"`
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -43,8 +38,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, apiError{Error: err.Error()})
+// writeError renders err as the ErrorBody envelope: the code table in
+// errors.go picks the code and HTTP status from the sentinel the error
+// wraps, and backpressure statuses (429, 503) carry the live retry
+// hint as both the Retry-After header and retry_after_s.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	code, status := codeFor(err)
+	body := ErrorBody{Code: code, Message: err.Error()}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		body.RetryAfterS = s.retrySeconds(err)
+		w.Header().Set("Retry-After", strconv.Itoa(body.RetryAfterS))
+	}
+	writeJSON(w, status, body)
 }
 
 // RunView is the GET /v1/runs/{id} body: the job status with the
@@ -59,24 +64,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: bad request body: %w", err))
+		s.writeError(w, fmt.Errorf("server: bad request body: %w", err))
 		return
 	}
 	st, err := s.Submit(req)
-	switch {
-	case err == nil:
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		writeError(w, http.StatusTooManyRequests, err)
-		return
-	case errors.Is(err, ErrShuttingDown):
-		// A draining worker never recovers, but a fleet client retries
-		// against its *other* workers — the hint paces that retry too.
-		w.Header().Set("Retry-After", s.retryAfterSeconds())
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
-	default:
-		writeError(w, http.StatusBadRequest, err)
+	if err != nil {
+		// The envelope's code table maps the sentinel the error wraps to
+		// its status: queue_full/load_shed/max_wait_exceeded → 429 with
+		// the scheduler's live Retry-After, shutting_down → 503 (a
+		// draining worker never recovers, but a fleet client retries
+		// against its *other* workers — the hint paces that retry too),
+		// anything else → 400.
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/runs/"+st.ID)
@@ -92,7 +91,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, err)
 		return
 	}
 	st, res := j.status()
@@ -114,7 +113,7 @@ func writeFrame(w http.ResponseWriter, frame []byte) {
 func (s *Server) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
 	j, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, err)
 		return
 	}
 	frame, _ := j.checkpoint()
@@ -134,7 +133,7 @@ func (s *Server) handleCheckpointGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCheckpointPost(w http.ResponseWriter, r *http.Request) {
 	j, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, err)
 		return
 	}
 	prev, fresh := j.checkpoint()
@@ -155,14 +154,14 @@ func (s *Server) handleCheckpointPost(w http.ResponseWriter, r *http.Request) {
 			writeFrame(w, prev)
 			return
 		}
-		writeError(w, http.StatusRequestTimeout, fmt.Errorf("server: job %s: checkpoint not produced before client deadline", j.id))
+		s.writeError(w, fmt.Errorf("server: job %s: %w", j.id, ErrCheckpointTimeout))
 	}
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, err)
 		return
 	}
 	j.requestCancel()
@@ -186,7 +185,7 @@ type streamLine struct {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	j, err := s.lookup(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusNotFound, err)
+		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -244,7 +243,7 @@ func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
 		API:           "v1",
 		GoVersion:     runtime.Version(),
 		Workers:       s.cfg.Workers,
-		QueueCapacity: cap(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
 	})
 }
 
@@ -277,8 +276,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.cfg.Workers,
 		Running:       s.running.Load(),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		QueueDepth:    s.sched.QueuedTotal(),
+		QueueCapacity: s.cfg.QueueDepth,
 	})
 }
 
@@ -288,4 +287,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	s.reg.WriteText(w, "edmd_", sim.Time(0))
+	// The scheduler's counters (sched.preemptions, per-class queue
+	// waits, tenant shares) are snapshotted per scrape: tenants come
+	// and go, so the registry is rebuilt rather than kept live.
+	s.sched.Registry().WriteText(w, "edmd_", sim.Time(0))
 }

@@ -13,19 +13,24 @@ import (
 
 	"edm"
 	"edm/internal/cluster"
+	"edm/internal/sched"
 	"edm/internal/snapshot"
 	"edm/internal/telemetry"
 	"edm/internal/trace"
 )
 
-// State is a job's lifecycle phase. Queued and running are transient;
-// done, failed and cancelled are terminal.
+// State is a job's lifecycle phase. Queued, running and preempted are
+// transient; done, failed and cancelled are terminal.
 type State string
 
 // Job lifecycle states.
 const (
-	StateQueued    State = "queued"
-	StateRunning   State = "running"
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	// StatePreempted: the job was checkpointed and parked so a
+	// higher-priority job could take its worker; it is requeued at the
+	// head of its class and resumes from the frame when a worker frees.
+	StatePreempted State = "preempted"
 	StateDone      State = "done"
 	StateFailed    State = "failed"
 	StateCancelled State = "cancelled"
@@ -77,6 +82,32 @@ type RunRequest struct {
 	// before running to completion. Workload and the other spec fields
 	// are ignored when Resume is set.
 	Resume []byte `json:"resume,omitempty"`
+	// Priority is the scheduling class: batch | normal | interactive
+	// (default normal). Interactive jobs are served first and may
+	// preempt running batch/normal jobs when every worker is busy;
+	// batch jobs are shed first under queue pressure.
+	Priority string `json:"priority,omitempty"`
+	// Tenant labels the submitter for weighted fair-share scheduling;
+	// empty is the shared default tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// MaxWaitS, when positive, is the longest queue wait the client
+	// will tolerate: a submission whose estimated wait exceeds it is
+	// rejected immediately (429, code max_wait_exceeded) with the
+	// estimate as its Retry-After, instead of queueing into a deadline
+	// the server already knows it will miss.
+	MaxWaitS float64 `json:"max_wait_s,omitempty"`
+}
+
+// class validates and parses the request's priority.
+func (r RunRequest) class() (sched.Class, error) {
+	if r.MaxWaitS < 0 {
+		return 0, fmt.Errorf("server: negative max_wait_s %v", r.MaxWaitS)
+	}
+	c, err := sched.ParseClass(r.Priority)
+	if err != nil {
+		return 0, fmt.Errorf("server: %w", err)
+	}
+	return c, nil
 }
 
 // Spec validates the request and converts it to an edm.Spec. The
@@ -186,6 +217,13 @@ type job struct {
 	cancel    context.CancelFunc // set while running
 	cancelled bool               // cancellation requested (any state)
 
+	// resumeFrame is the checkpoint a preemption parked (nil: none was
+	// captured in time; the next attempt restarts — determinism makes
+	// the result identical either way). preemptions counts how many
+	// times this job was preempted.
+	resumeFrame []byte
+	preemptions int
+
 	// done is closed exactly once, when the job reaches a terminal
 	// state; stream handlers select on it.
 	done chan struct{}
@@ -245,13 +283,13 @@ func (j *job) checkpoint() ([]byte, <-chan struct{}) {
 	return frame, j.ckCh
 }
 
-// begin transitions queued → running and installs the cancel handle.
-// It reports false when the job was cancelled while queued (the worker
-// must skip it).
+// begin transitions queued (or preempted) → running and installs the
+// cancel handle. It reports false when the job was cancelled while
+// waiting (the worker must skip it).
 func (j *job) begin(cancel context.CancelFunc) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	if j.state != StateQueued {
+	if j.state != StateQueued && j.state != StatePreempted {
 		return false
 	}
 	if j.cancelled {
@@ -286,10 +324,51 @@ func (j *job) finish(res *edm.Result, err error) {
 	close(j.done)
 }
 
-// requestCancel marks the job cancelled. A queued job terminates
-// immediately; a running job's context is cancelled and the worker
-// finishes it within one engine check interval. Terminal jobs are
-// untouched. It reports whether the call changed anything.
+// park transitions running → preempted, stashing the checkpoint frame
+// the next attempt resumes from. It refuses when the job is no longer
+// running or a cancellation raced in (the caller then finishes the job
+// as cancelled). The progress counter resets: resume regenerates the
+// run's full telemetry from zero.
+func (j *job) park(frame []byte) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning || j.cancelled {
+		return false
+	}
+	j.state = StatePreempted
+	j.cancel = nil
+	j.resumeFrame = frame
+	j.preemptions++
+	j.completedOps.Store(0)
+	return true
+}
+
+// resumeSource returns the frame stream the next execution attempt
+// should resume from: a parked preemption frame first, then the
+// request's own resume payload, nil for a fresh run.
+func (j *job) resumeSource() []byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.resumeFrame) > 0 {
+		return j.resumeFrame
+	}
+	if len(j.req.Resume) > 0 {
+		return j.req.Resume
+	}
+	return nil
+}
+
+// cancelRequested reports whether DELETE asked for this job to stop.
+func (j *job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled
+}
+
+// requestCancel marks the job cancelled. A queued or preempted job
+// terminates immediately; a running job's context is cancelled and the
+// worker finishes it within one engine check interval. Terminal jobs
+// are untouched. It reports whether the call changed anything.
 func (j *job) requestCancel() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -298,7 +377,7 @@ func (j *job) requestCancel() bool {
 	}
 	j.cancelled = true
 	switch j.state {
-	case StateQueued:
+	case StateQueued, StatePreempted:
 		j.state = StateCancelled
 		j.finished = time.Now()
 		close(j.done)
@@ -320,10 +399,14 @@ type JobStatus struct {
 	StartedAt    *time.Time `json:"started_at,omitempty"`
 	FinishedAt   *time.Time `json:"finished_at,omitempty"`
 	// QueueWaitS is the seconds the job spent queued before a worker
-	// picked it up; ElapsedS is its execution time so far (final once
-	// terminal). Fleet coordinators use both to pace hedging.
+	// picked it up (most recent wait for a preempted-and-resumed job);
+	// ElapsedS is its execution time so far (final once terminal).
+	// Fleet coordinators use both to pace hedging.
 	QueueWaitS float64 `json:"queue_wait_s,omitempty"`
 	ElapsedS   float64 `json:"elapsed_s,omitempty"`
+	// Preemptions counts how many times the job was checkpointed and
+	// parked so a higher-priority job could run.
+	Preemptions int `json:"preemptions,omitempty"`
 }
 
 // status snapshots the job for JSON encoding. The result is returned
@@ -339,6 +422,7 @@ func (j *job) status() (JobStatus, *edm.Result) {
 		CompletedOps: j.completedOps.Load(),
 		Error:        j.err,
 		SubmittedAt:  j.submitted,
+		Preemptions:  j.preemptions,
 	}
 	if !j.started.IsZero() {
 		t := j.started

@@ -1,18 +1,30 @@
 // Package server is the edmd serving layer: an HTTP API that accepts
 // simulation runs as jobs, executes them on a bounded worker pool
-// behind a fixed-depth admission queue, and streams progress and
-// results as NDJSON.
+// behind a priority-aware admission scheduler (internal/sched), and
+// streams progress and results as NDJSON.
 //
 // Admission control is strict: a full queue rejects the submit with
 // ErrQueueFull (HTTP 429 + Retry-After) instead of queueing unboundedly
-// — a saturated simulation box must push back, not fall over. Every job
-// runs under a context; DELETE /v1/runs/{id} cancels it and the
-// discrete-event engine observes the cancellation within one
+// — a saturated simulation box must push back, not fall over. Requests
+// carry an optional priority (batch | normal | interactive), tenant
+// label and max_wait_s deadline: queues are per-priority with weighted
+// fair share across tenants, batch work is shed under pressure
+// (ErrLoadShed), and a submission whose estimated queue wait exceeds
+// its max_wait_s is rejected up front (ErrMaxWait) with the live
+// estimate as its Retry-After. When every worker is busy and an
+// interactive job arrives, the youngest lowest-priority running job is
+// preempted — checkpointed on demand via its trigger, parked, and
+// transparently resumed from the digest-sealed frame when a worker
+// frees — so interactive latency does not queue behind batch sweeps.
+//
+// Every job runs under a context; DELETE /v1/runs/{id} cancels it and
+// the discrete-event engine observes the cancellation within one
 // sim.CancelCheckInterval. Shutdown drains: accepted jobs finish,
 // new submissions are refused, and a drain deadline force-cancels
 // whatever is still running.
 //
-// The API (all request/response bodies are JSON):
+// The API (all request/response bodies are JSON; errors use the
+// ErrorBody envelope):
 //
 //	POST   /v1/runs          submit a RunRequest → 201 + JobStatus
 //	GET    /v1/runs          list job statuses
@@ -40,6 +52,7 @@ import (
 	"time"
 
 	"edm"
+	"edm/internal/sched"
 	"edm/internal/sim"
 	"edm/internal/snapshot"
 	"edm/internal/telemetry"
@@ -47,7 +60,7 @@ import (
 
 // Version identifies this edmd build on GET /v1/version; fleet
 // coordinators log it per worker so mixed-version sweeps are visible.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // ErrQueueFull is returned by Submit when the admission queue is at
 // capacity; the HTTP layer maps it to 429 + Retry-After.
@@ -56,10 +69,6 @@ var ErrQueueFull = errors.New("server: job queue full")
 // ErrShuttingDown is returned by Submit once Shutdown has begun; the
 // HTTP layer maps it to 503.
 var ErrShuttingDown = errors.New("server: shutting down")
-
-// errUnknownJob is returned by lookups for ids the server never issued
-// (or that predate a restart); the HTTP layer maps it to 404.
-var errUnknownJob = errors.New("server: unknown job")
 
 // Config describes a Server.
 type Config struct {
@@ -91,6 +100,21 @@ type Config struct {
 	// complete frame. Completed and failed jobs are cleaned up;
 	// cancelled and crashed ones are re-run on restart.
 	StateDir string
+	// PreemptGrace bounds how long a preemption waits for the victim to
+	// produce a fresh checkpoint frame before cancelling it anyway
+	// (default 3s). A victim preempted past the grace resumes from its
+	// newest earlier frame, or restarts — determinism makes either
+	// byte-identical, the grace only trades preemption latency against
+	// replay cost.
+	PreemptGrace time.Duration
+	// ShedFraction is the queue occupancy beyond which batch
+	// submissions are shed to keep headroom for normal and interactive
+	// work (default 0.75 of QueueDepth; >= 1 disables shedding).
+	ShedFraction float64
+	// TenantWeights biases the scheduler's fair share: a tenant with
+	// weight 2 receives twice the service of a weight-1 tenant under
+	// contention. Unlisted tenants weigh 1.
+	TenantWeights map[string]float64
 }
 
 func (c *Config) applyDefaults() {
@@ -109,17 +133,9 @@ func (c *Config) applyDefaults() {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = edm.DefaultCheckpointEvery
 	}
-}
-
-// retryAfterSeconds renders the configured backoff hint as the integer
-// seconds RFC 9110 requires in a Retry-After header (never below 1 —
-// "0" invites a tight retry loop).
-func (s *Server) retryAfterSeconds() string {
-	secs := int((s.cfg.RetryAfter + time.Second - 1) / time.Second)
-	if secs < 1 {
-		secs = 1
+	if c.PreemptGrace <= 0 {
+		c.PreemptGrace = 3 * time.Second
 	}
-	return strconv.Itoa(secs)
 }
 
 // Server owns the job store, the admission queue and the worker pool.
@@ -133,7 +149,9 @@ type Server struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queue   chan *job
+	// sched owns admission and ordering: per-priority queues, tenant
+	// fair share, shedding, deadline rejection and preemption signals.
+	sched   *sched.Scheduler
 	workers sync.WaitGroup
 
 	mu       sync.Mutex
@@ -150,6 +168,7 @@ type Server struct {
 	failed    atomic.Uint64
 	cancelled atomic.Uint64
 	recovered atomic.Uint64
+	preempted atomic.Uint64
 	running   atomic.Int64
 
 	reg *telemetry.Registry
@@ -164,8 +183,13 @@ func New(cfg Config) *Server {
 		started:    time.Now(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
-		jobs:       make(map[string]*job),
+		sched: sched.New(sched.Config{
+			Workers:       cfg.Workers,
+			QueueDepth:    cfg.QueueDepth,
+			ShedFraction:  cfg.ShedFraction,
+			TenantWeights: cfg.TenantWeights,
+		}),
+		jobs: make(map[string]*job),
 	}
 	s.reg = s.buildRegistry()
 	s.recoverState()
@@ -193,9 +217,6 @@ func (s *Server) recoverState() {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		if len(s.queue) == cap(s.queue) {
-			return
-		}
 		id := strings.TrimSuffix(filepath.Base(name), ".req")
 		raw, err := os.ReadFile(name)
 		if err != nil {
@@ -216,12 +237,21 @@ func (s *Server) recoverState() {
 			_ = os.Remove(name)
 			continue
 		}
+		class, err := req.class()
+		if err != nil {
+			class = sched.Normal
+		}
 		if n, err := strconv.ParseUint(strings.TrimPrefix(id, "run-"), 10, 64); err == nil && n > s.nextID {
 			s.nextID = n
 		}
 		j := newJob(id, req, spec)
 		s.bindState(j)
-		s.queue <- j
+		// Restore bypasses shedding and deadlines (the work was admitted
+		// once already) but still honors QueueDepth: any surplus stays on
+		// disk for the next restart.
+		if _, err := s.sched.Restore(j.id, class, req.Tenant, j); err != nil {
+			return
+		}
 		s.jobs[j.id] = j
 		s.order = append(s.order, j.id)
 		s.accepted.Add(1)
@@ -244,6 +274,17 @@ func (s *Server) bindState(j *job) {
 	if raw, err := json.Marshal(j.req); err == nil {
 		_ = os.WriteFile(j.reqPath, raw, 0o644)
 	}
+}
+
+// unbindState removes the persistence files of a job whose admission
+// was rejected after bindState had written them.
+func (s *Server) unbindState(j *job) {
+	if j.reqPath == "" {
+		return
+	}
+	_ = os.Remove(j.reqPath)
+	_ = os.Remove(j.ckptPath)
+	j.reqPath, j.ckptPath = "", ""
 }
 
 // clearState removes a finished job's persistence files. Cancelled jobs
@@ -274,18 +315,26 @@ func (s *Server) buildRegistry() *telemetry.Registry {
 	reg.Gauge("jobs_failed_total", func(sim.Time) float64 { return float64(s.failed.Load()) })
 	reg.Gauge("jobs_cancelled_total", func(sim.Time) float64 { return float64(s.cancelled.Load()) })
 	reg.Gauge("jobs_recovered_total", func(sim.Time) float64 { return float64(s.recovered.Load()) })
+	reg.Gauge("jobs_preempted_total", func(sim.Time) float64 { return float64(s.preempted.Load()) })
 	reg.Gauge("jobs_running", func(sim.Time) float64 { return float64(s.running.Load()) })
-	reg.Gauge("queue_depth", func(sim.Time) float64 { return float64(len(s.queue)) })
-	reg.Gauge("queue_capacity", func(sim.Time) float64 { return float64(cap(s.queue)) })
+	reg.Gauge("queue_depth", func(sim.Time) float64 { return float64(s.sched.QueuedTotal()) })
+	reg.Gauge("queue_capacity", func(sim.Time) float64 { return float64(s.cfg.QueueDepth) })
 	reg.Gauge("workers", func(sim.Time) float64 { return float64(s.cfg.Workers) })
 	return reg
 }
 
-// Submit validates and admits one run request. It never blocks: a full
-// queue returns ErrQueueFull immediately (backpressure), a draining
-// server ErrShuttingDown, and a bad request the validation error.
+// Submit validates and admits one run request. It never blocks:
+// rejections return immediately — ErrQueueFull (full queue),
+// ErrLoadShed (batch under pressure), ErrMaxWait (estimated wait over
+// the request's deadline), ErrShuttingDown (draining) — each carrying
+// the scheduler's live retry hint, and a bad request the validation
+// error.
 func (s *Server) Submit(req RunRequest) (JobStatus, error) {
 	spec, err := req.Spec()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	class, err := req.class()
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -293,23 +342,44 @@ func (s *Server) Submit(req RunRequest) (JobStatus, error) {
 	defer s.mu.Unlock()
 	if s.draining {
 		s.rejected.Add(1)
-		return JobStatus{}, ErrShuttingDown
+		return JobStatus{}, withRetryHint(ErrShuttingDown, s.sched.RetryAfterHint())
 	}
 	s.nextID++
 	j := newJob(fmt.Sprintf("run-%08d", s.nextID), req, spec)
-	select {
-	case s.queue <- j:
-	default:
+	s.bindState(j)
+	maxWait := time.Duration(req.MaxWaitS * float64(time.Second))
+	if _, err := s.sched.Submit(j.id, class, req.Tenant, maxWait, j); err != nil {
 		s.nextID-- // id was never issued
 		s.rejected.Add(1)
-		return JobStatus{}, ErrQueueFull
+		s.unbindState(j)
+		return JobStatus{}, translateSchedErr(err)
 	}
-	s.bindState(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	s.accepted.Add(1)
 	st, _ := j.status()
 	return st, nil
+}
+
+// translateSchedErr maps the scheduler's rejection sentinels onto the
+// server's API sentinels, carrying the live retry estimate along.
+func translateSchedErr(err error) error {
+	var rej *sched.RejectError
+	var after time.Duration
+	if errors.As(err, &rej) {
+		after = rej.RetryAfter
+	}
+	switch {
+	case errors.Is(err, sched.ErrQueueFull):
+		return withRetryHint(ErrQueueFull, after)
+	case errors.Is(err, sched.ErrShed):
+		return withRetryHint(ErrLoadShed, after)
+	case errors.Is(err, sched.ErrMaxWait):
+		return withRetryHint(ErrMaxWait, after)
+	case errors.Is(err, sched.ErrClosed):
+		return ErrShuttingDown
+	}
+	return err
 }
 
 // lookup finds a job by id.
@@ -318,7 +388,7 @@ func (s *Server) lookup(id string) (*job, error) {
 	defer s.mu.Unlock()
 	j, ok := s.jobs[id]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", errUnknownJob, id)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
 	}
 	return j, nil
 }
@@ -339,17 +409,28 @@ func (s *Server) statuses() []JobStatus {
 	return out
 }
 
-// worker executes queued jobs until the queue is closed by Shutdown.
+// worker executes scheduled tickets until the scheduler is closed and
+// drained by Shutdown.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for {
+		tk := s.sched.Next()
+		if tk == nil {
+			return
+		}
+		j := tk.Payload().(*job)
+		s.runJob(j, tk)
 		s.clearState(j)
 	}
 }
 
-// runJob executes one job under its context and records the outcome.
-func (s *Server) runJob(j *job) {
+// runJob executes one scheduled ticket under its job's context and
+// records the outcome. A preemption signal from the scheduler triggers
+// an immediate checkpoint of the running simulation; once a fresh
+// frame lands (or PreemptGrace expires) the run is cancelled, the job
+// parked, and the ticket requeued at the head of its class — the next
+// free worker resumes it from the frame, byte-identically.
+func (s *Server) runJob(j *job, tk *sched.Ticket) {
 	timeout := s.cfg.JobTimeout
 	if t := time.Duration(j.req.TimeoutS * float64(time.Second)); t > 0 && (timeout == 0 || t < timeout) {
 		timeout = t
@@ -361,10 +442,39 @@ func (s *Server) runJob(j *job) {
 	defer cancel()
 	if !j.begin(cancel) {
 		s.cancelled.Add(1)
+		s.sched.Abort(tk) // never ran: keep it out of the runtime estimates
 		return
 	}
 	s.running.Add(1)
 	defer s.running.Add(-1)
+
+	// Preemption watcher: on the scheduler's signal, demand a checkpoint
+	// and cancel the run once a fresh frame lands (or the grace expires —
+	// the job then resumes from an older frame or restarts; determinism
+	// keeps the result byte-identical either way).
+	runDone := make(chan struct{})
+	watcherDone := make(chan struct{})
+	var wasPreempted atomic.Bool
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-runDone:
+			return
+		case <-tk.Preempted():
+		}
+		_, fresh := j.checkpoint()
+		j.trigger.Request()
+		grace := time.NewTimer(s.cfg.PreemptGrace)
+		defer grace.Stop()
+		select {
+		case <-runDone:
+			return
+		case <-fresh:
+		case <-grace.C:
+		}
+		wasPreempted.Store(true)
+		cancel()
+	}()
 
 	every := j.req.CheckpointEvery
 	if every == 0 {
@@ -380,15 +490,31 @@ func (s *Server) runJob(j *job) {
 	}
 	var res *edm.Result
 	var err error
-	if len(j.req.Resume) > 0 {
+	if frame := j.resumeSource(); frame != nil {
 		if j.req.Check {
 			opts = append(opts, edm.WithCheck())
 		}
-		res, err = edm.Resume(ctx, bytes.NewReader(j.req.Resume), opts...)
+		res, err = edm.Resume(ctx, bytes.NewReader(frame), opts...)
 	} else {
 		res, err = edm.Run(ctx, j.spec, opts...)
 	}
+	close(runDone)
+	<-watcherDone
+
+	// A preemption cancel parks the job instead of finishing it —
+	// unless the user cancelled it too, or the whole server is being
+	// force-drained (then the cancel must stick).
+	if wasPreempted.Load() && errors.Is(err, context.Canceled) &&
+		!j.cancelRequested() && s.baseCtx.Err() == nil {
+		frame, _ := j.checkpoint()
+		if j.park(frame) {
+			s.preempted.Add(1)
+			s.sched.Requeue(tk)
+			return
+		}
+	}
 	j.finish(res, err)
+	s.sched.Finish(tk)
 	switch {
 	case err == nil:
 		s.completed.Add(1)
@@ -408,7 +534,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.sched.Close()
 	}
 	s.mu.Unlock()
 

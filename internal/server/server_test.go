@@ -324,16 +324,19 @@ func TestSubmitValidation(t *testing.T) {
 	cases := []struct {
 		name string
 		body string
-		want string // substring of the error
+		want string // substring of the envelope message
+		code string // envelope code
 	}{
-		{"missing workload", `{}`, "missing workload"},
-		{"unknown workload", `{"workload":"nope"}`, "unknown workload"},
-		{"bad policy", `{"workload":"home02","policy":"zigzag"}`, "policy"},
-		{"bad migration", `{"workload":"home02","migration":"sometimes"}`, "migration"},
-		{"negative scale", `{"workload":"home02","scale":-1}`, "scale"},
-		{"negative timeout", `{"workload":"home02","timeout_s":-3}`, "timeout_s"},
-		{"unknown field", `{"workload":"home02","wat":1}`, "wat"},
-		{"malformed json", `{"workload"`, "bad request body"},
+		{"missing workload", `{}`, "missing workload", "bad_request"},
+		{"unknown workload", `{"workload":"nope"}`, "unknown workload", "unknown_workload"},
+		{"bad policy", `{"workload":"home02","policy":"zigzag"}`, "policy", "bad_request"},
+		{"bad migration", `{"workload":"home02","migration":"sometimes"}`, "migration", "bad_request"},
+		{"negative scale", `{"workload":"home02","scale":-1}`, "scale", "bad_request"},
+		{"negative timeout", `{"workload":"home02","timeout_s":-3}`, "timeout_s", "bad_request"},
+		{"bad priority", `{"workload":"home02","priority":"urgent"}`, "priority", "bad_request"},
+		{"negative max wait", `{"workload":"home02","max_wait_s":-1}`, "max_wait_s", "bad_request"},
+		{"unknown field", `{"workload":"home02","wat":1}`, "wat", "bad_request"},
+		{"malformed json", `{"workload"`, "bad request body", "bad_request"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -345,12 +348,15 @@ func TestSubmitValidation(t *testing.T) {
 			if resp.StatusCode != http.StatusBadRequest {
 				t.Fatalf("status %d, want 400", resp.StatusCode)
 			}
-			var ae apiError
+			var ae ErrorBody
 			if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
 				t.Fatal(err)
 			}
-			if !strings.Contains(ae.Error, tc.want) {
-				t.Errorf("error %q does not mention %q", ae.Error, tc.want)
+			if !strings.Contains(ae.Message, tc.want) {
+				t.Errorf("message %q does not mention %q", ae.Message, tc.want)
+			}
+			if ae.Code != tc.code {
+				t.Errorf("code = %q, want %q", ae.Code, tc.code)
 			}
 		})
 	}
@@ -551,7 +557,7 @@ func TestSentinelErrors(t *testing.T) {
 	// Wait for the worker to pop the first job so the next submit
 	// deterministically lands in the queue slot.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(s.queue) != 0 {
+	for s.sched.QueuedTotal() != 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("worker never picked up the first job")
 		}
@@ -575,7 +581,7 @@ func TestSentinelErrors(t *testing.T) {
 		{"queue full is not shutting down", errFull, ErrShuttingDown, false},
 		{"bad workload is edm.ErrUnknownWorkload", errBadWorkload, edm.ErrUnknownWorkload, true},
 		{"bad workload is not queue full", errBadWorkload, ErrQueueFull, false},
-		{"unknown job sentinel", errUnknown, errUnknownJob, true},
+		{"unknown job sentinel", errUnknown, ErrUnknownJob, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -180,21 +180,3 @@ func TestWithCheckAudits(t *testing.T) {
 		t.Fatal(err)
 	}
 }
-
-// TestRunContextShimMatchesRun pins the deprecated shim.
-func TestRunContextShimMatchesRun(t *testing.T) {
-	ctx := context.Background()
-	a, err := RunContext(ctx, quickSpec(PolicyCDF))
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Run(ctx, quickSpec(PolicyCDF))
-	if err != nil {
-		t.Fatal(err)
-	}
-	ja, _ := json.Marshal(a)
-	jb, _ := json.Marshal(b)
-	if !bytes.Equal(ja, jb) {
-		t.Fatal("RunContext shim diverges from Run")
-	}
-}

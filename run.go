@@ -301,10 +301,3 @@ func Resume(ctx context.Context, r io.Reader, opts ...RunOption) (*Result, error
 	}
 	return res, nil
 }
-
-// RunContext executes the spec end to end under ctx.
-//
-// Deprecated: RunContext is Run without options; call Run directly.
-func RunContext(ctx context.Context, spec Spec) (*Result, error) {
-	return Run(ctx, spec)
-}
